@@ -1,0 +1,179 @@
+package repro
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md's experiment index). The experiment drivers in
+// internal/experiments print the regenerated tables (visible with -v); the
+// per-operation micro benchmarks report conventional ns/op so `go test
+// -bench . -benchmem` gives comparable numbers run to run.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem -timeout 3h
+//
+// or a single table:
+//
+//	go test -bench=BenchmarkE1 -v
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/experiments"
+	"repro/internal/kvservice"
+	"repro/internal/pbft"
+	"repro/internal/workload"
+)
+
+// runExperiment executes an experiment driver once per benchmark iteration
+// and logs the regenerated tables on the first pass.
+func runExperiment(b *testing.B, run func(scale int) []*experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables := run(1)
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+func BenchmarkE1Latency(b *testing.B)       { runExperiment(b, experiments.E1Latency) }
+func BenchmarkE2Throughput(b *testing.B)    { runExperiment(b, experiments.E2Throughput) }
+func BenchmarkE3Ablation(b *testing.B)      { runExperiment(b, experiments.E3Ablation) }
+func BenchmarkE4Replicas(b *testing.B)      { runExperiment(b, experiments.E4Replicas) }
+func BenchmarkE5Checkpoint(b *testing.B)    { runExperiment(b, experiments.E5Checkpoint) }
+func BenchmarkE6StateTransfer(b *testing.B) { runExperiment(b, experiments.E6StateTransfer) }
+func BenchmarkE7ViewChange(b *testing.B)    { runExperiment(b, experiments.E7ViewChange) }
+func BenchmarkE8BFS(b *testing.B)           { runExperiment(b, experiments.E8BFS) }
+func BenchmarkE9Recovery(b *testing.B)      { runExperiment(b, experiments.E9Recovery) }
+func BenchmarkE10Model(b *testing.B)        { runExperiment(b, experiments.E10Model) }
+func BenchmarkE11AuthCrossover(b *testing.B) {
+	runExperiment(b, experiments.E11AuthCrossover)
+}
+
+// ---------------------------------------------------------------------------
+// Conventional per-operation micro benchmarks (ns/op comparable across
+// runs). These are the operations behind Figures 8-2..8-9.
+// ---------------------------------------------------------------------------
+
+func benchCluster(b *testing.B, mode pbft.Mode, n int) (*pbft.Cluster, *pbft.Client) {
+	b.Helper()
+	cfg := pbft.Config{
+		Mode:               mode,
+		Opt:                pbft.DefaultOptions(),
+		CheckpointInterval: 256,
+		LogWindow:          512,
+		ViewChangeTimeout:  5 * time.Second,
+		StatusInterval:     200 * time.Millisecond,
+		StateSize:          kvservice.MinStateSize + 128*1024,
+		Seed:               1,
+	}
+	c := pbft.NewLocalCluster(n, cfg, kvservice.Factory, nil)
+	c.Start()
+	b.Cleanup(c.Stop)
+	cl := c.NewClient()
+	cl.RetryTimeout = time.Second
+	return c, cl
+}
+
+func benchInvoke(b *testing.B, cl *pbft.Client, op []byte, ro bool) {
+	b.Helper()
+	if _, err := cl.Invoke(op, ro); err != nil { // warm up
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Invoke(op, ro); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOp00ReadWrite(b *testing.B) {
+	_, cl := benchCluster(b, pbft.ModeMAC, 4)
+	benchInvoke(b, cl, kvservice.Noop(), false)
+}
+
+func BenchmarkOp00ReadWritePK(b *testing.B) {
+	_, cl := benchCluster(b, pbft.ModePK, 4)
+	benchInvoke(b, cl, kvservice.Noop(), false)
+}
+
+func BenchmarkOp40ReadWrite(b *testing.B) {
+	_, cl := benchCluster(b, pbft.ModeMAC, 4)
+	b.SetBytes(4096)
+	benchInvoke(b, cl, kvservice.WriteBlob(make([]byte, 4096)), false)
+}
+
+func BenchmarkOp04ReadOnly(b *testing.B) {
+	_, cl := benchCluster(b, pbft.ModeMAC, 4)
+	b.SetBytes(4096)
+	benchInvoke(b, cl, kvservice.ReadBlob(4096), true)
+}
+
+func BenchmarkOp04ReadWrite(b *testing.B) {
+	_, cl := benchCluster(b, pbft.ModeMAC, 4)
+	b.SetBytes(4096)
+	benchInvoke(b, cl, kvservice.ReadBlob(4096), false)
+}
+
+func BenchmarkOp00N7(b *testing.B) {
+	_, cl := benchCluster(b, pbft.ModeMAC, 7)
+	benchInvoke(b, cl, kvservice.Noop(), false)
+}
+
+func BenchmarkOp00N13(b *testing.B) {
+	_, cl := benchCluster(b, pbft.ModeMAC, 13)
+	benchInvoke(b, cl, kvservice.Noop(), false)
+}
+
+// BenchmarkThroughput00 measures saturated throughput with 10 closed-loop
+// clients; ops/sec appears as the custom metric.
+func BenchmarkThroughput00(b *testing.B) {
+	c, _ := benchCluster(b, pbft.ModeMAC, 4)
+	b.ResetTimer()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		st := workload.RunClosed(func() workload.Invoker {
+			cl := c.NewClient()
+			cl.RetryTimeout = time.Second
+			return cl
+		}, 10, 30, func(int) ([]byte, bool) { return kvservice.Noop(), false })
+		total += st.Throughput()
+	}
+	b.ReportMetric(total/float64(b.N), "ops/s")
+}
+
+// BenchmarkBFSAndrew measures one Andrew-benchmark pass over replicated BFS.
+func BenchmarkBFSAndrew(b *testing.B) {
+	cfg := pbft.Config{
+		Mode:               pbft.ModeMAC,
+		Opt:                pbft.DefaultOptions(),
+		CheckpointInterval: 256,
+		LogWindow:          512,
+		ViewChangeTimeout:  5 * time.Second,
+		StateSize:          bfs.MinRegionSize(16384),
+		Seed:               1,
+	}
+	c := pbft.NewLocalCluster(4, cfg, bfs.Factory, nil)
+	c.Start()
+	b.Cleanup(c.Stop)
+	cl := c.NewClient()
+	cl.RetryTimeout = time.Second
+	fc := bfs.NewClient(cl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh directory per iteration keeps the namespace disjoint.
+		sub, err := fc.Mkdir(bfs.RootIno, fmt.Sprintf("iter%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sub
+		if _, err := workload.RunAndrewAt(fc, 1, fmt.Sprintf("iter%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

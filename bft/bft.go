@@ -1,0 +1,140 @@
+// Package bft is the public interface of the BFT library — the Go analogue
+// of the C interface in §6.2 of Castro's thesis (Byz_init_client,
+// Byz_invoke, Byz_init_replica, Byz_modify). It wraps the protocol engine
+// in repro/internal/pbft behind a small, stable surface:
+//
+//	svc := ... // your deterministic state machine
+//	cluster := bft.NewCluster(bft.Options{Replicas: 4}, svc)
+//	cluster.Start()
+//	defer cluster.Stop()
+//	client := cluster.NewClient()
+//	result, err := client.Invoke(op, false)
+//
+// The service executes inside a library-managed memory region divided into
+// pages; services must announce writes with Region.Modify (or use the
+// WriteAt helpers) so checkpointing, state transfer, and proactive recovery
+// work. See internal/kvservice and internal/bfs for two complete services.
+package bft
+
+import (
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/pbft"
+	"repro/internal/simnet"
+	"repro/internal/statemachine"
+)
+
+// Service is the deterministic state machine the library replicates
+// (Definition 2.4.1). See statemachine.Service for the contract.
+type Service = statemachine.Service
+
+// Region is the paged memory holding all service state.
+type Region = statemachine.Region
+
+// ServiceFactory builds one service instance bound to a replica's region.
+type ServiceFactory = func(*Region) Service
+
+// Mode selects the authentication flavor.
+type Mode = pbft.Mode
+
+// Authentication modes.
+const (
+	// BFT authenticates with MAC vectors (Chapter 3) — the fast, default
+	// algorithm.
+	BFT = pbft.ModeMAC
+	// BFTPK signs every message (Chapter 2) — simpler, ~an order of
+	// magnitude slower; kept for comparison.
+	BFTPK = pbft.ModePK
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Replicas is the group size n; the cluster tolerates (n-1)/3 faults.
+	// Default 4.
+	Replicas int
+	// Mode is BFT or BFTPK. Default BFT.
+	Mode Mode
+	// StateSize is the service region size in bytes.
+	StateSize int
+	// PageSize is the checkpoint page size. Default 4096.
+	PageSize int
+	// CheckpointInterval is the checkpoint period K. Default 128.
+	CheckpointInterval uint64
+	// ViewChangeTimeout is the initial primary-failure timeout.
+	ViewChangeTimeout time.Duration
+	// ProactiveRecovery enables BFT-PR with the given watchdog period
+	// (Chapter 4); zero disables it.
+	ProactiveRecovery time.Duration
+	// DisableOptimizations turns off every Chapter 5 optimization
+	// (digest replies, tentative execution, read-only, batching, separate
+	// request transmission); useful for measurement.
+	DisableOptimizations bool
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Cluster is a replica group plus its (simulated) network.
+type Cluster struct {
+	inner *pbft.Cluster
+}
+
+// Client invokes operations on the replicated service.
+type Client = pbft.Client
+
+// NewCluster builds an in-process cluster of opts.Replicas replicas, each
+// running its own instance of the service.
+func NewCluster(opts Options, svc ServiceFactory) *Cluster {
+	if opts.Replicas == 0 {
+		opts.Replicas = 4
+	}
+	cfg := pbft.Config{
+		Mode:               opts.Mode,
+		Opt:                pbft.DefaultOptions(),
+		CheckpointInterval: message.Seq(opts.CheckpointInterval),
+		ViewChangeTimeout:  opts.ViewChangeTimeout,
+		StateSize:          opts.StateSize,
+		PageSize:           opts.PageSize,
+		WatchdogInterval:   opts.ProactiveRecovery,
+		Seed:               opts.Seed,
+	}
+	if opts.ProactiveRecovery > 0 {
+		cfg.KeyRefreshInterval = opts.ProactiveRecovery / 2
+	}
+	if opts.DisableOptimizations {
+		cfg.Opt = pbft.Options{}
+	}
+	return &Cluster{inner: pbft.NewLocalCluster(opts.Replicas, cfg, svc, nil)}
+}
+
+// Start launches every replica.
+func (c *Cluster) Start() { c.inner.Start() }
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() { c.inner.Stop() }
+
+// NewClient attaches a client to the cluster.
+func (c *Cluster) NewClient() *Client { return c.inner.NewClient() }
+
+// Network exposes the simulated network for fault injection (partitions,
+// latency, loss) in tests and demos.
+func (c *Cluster) Network() *simnet.Network { return c.inner.Net }
+
+// Replicas returns the number of replicas.
+func (c *Cluster) Replicas() int { return c.inner.N() }
+
+// FaultTolerance returns f = (n-1)/3.
+func (c *Cluster) FaultTolerance() int { return c.inner.F() }
+
+// Recover triggers proactive recovery of replica i immediately.
+func (c *Cluster) Recover(i int) { c.inner.Replica(i).Recover() }
+
+// Internal exposes the underlying engine cluster for advanced use
+// (fault-injection behaviors, metrics); the API of internal/pbft is not
+// covered by this package's compatibility promise.
+func (c *Cluster) Internal() *pbft.Cluster { return c.inner }
+
+// NewRegion allocates a paged region for standalone service testing.
+func NewRegion(size, pageSize int) *Region {
+	return statemachine.NewRegion(size, pageSize)
+}

@@ -1,0 +1,90 @@
+package bft_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/bft"
+	"repro/internal/kvservice"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cluster := bft.NewCluster(bft.Options{Replicas: 4, Seed: 1}, kvservice.Factory)
+	cluster.Start()
+	defer cluster.Stop()
+
+	client := cluster.NewClient()
+	for i := 1; i <= 3; i++ {
+		res, err := client.Invoke(kvservice.Incr(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := kvservice.DecodeU64(res); got != uint64(i) {
+			t.Fatalf("incr %d -> %d", i, got)
+		}
+	}
+	res, err := client.Invoke(kvservice.Get(), true)
+	if err != nil || kvservice.DecodeU64(res) != 3 {
+		t.Fatalf("get: %v %d", err, kvservice.DecodeU64(res))
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	c := bft.NewCluster(bft.Options{}, kvservice.Factory)
+	if c.Replicas() != 4 || c.FaultTolerance() != 1 {
+		t.Fatalf("defaults: n=%d f=%d", c.Replicas(), c.FaultTolerance())
+	}
+	c.Start()
+	defer c.Stop()
+	if _, err := c.NewClient().Invoke(kvservice.Noop(), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIFaultInjection(t *testing.T) {
+	cluster := bft.NewCluster(bft.Options{Replicas: 4, Seed: 2,
+		ViewChangeTimeout: 150 * time.Millisecond}, kvservice.Factory)
+	cluster.Start()
+	defer cluster.Stop()
+	client := cluster.NewClient()
+	client.MaxRetries = 20
+
+	if _, err := client.Invoke(kvservice.Incr(), false); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Network().Isolate(0) // kill the primary
+	res, err := client.Invoke(kvservice.Incr(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kvservice.DecodeU64(res) != 2 {
+		t.Fatalf("got %d", kvservice.DecodeU64(res))
+	}
+}
+
+func TestPublicAPIRecovery(t *testing.T) {
+	cluster := bft.NewCluster(bft.Options{
+		Replicas:           4,
+		Seed:               3,
+		CheckpointInterval: 4,
+	}, kvservice.Factory)
+	cluster.Start()
+	defer cluster.Stop()
+	client := cluster.NewClient()
+	for i := 0; i < 6; i++ {
+		if _, err := client.Invoke(kvservice.Incr(), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.Recover(2)
+	deadline := time.Now().Add(10 * time.Second)
+	for cluster.Internal().Replica(2).Recovering() {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery stuck")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := client.Invoke(kvservice.Incr(), false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Command bfsbench runs the Andrew-style file-system benchmark (§8.6)
+// against BFS on a BFT cluster, BFS-strict (read-only optimization off), or
+// the unreplicated NO-REP baseline.
+//
+//	bfsbench -target bfs -scale 2
+//	bfsbench -target norep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bfs"
+	"repro/internal/kvservice"
+	"repro/internal/message"
+	"repro/internal/pbft"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		target = flag.String("target", "bfs", "bfs | strict | norep")
+		scale  = flag.Int("scale", 1, "benchmark scale (>=1)")
+		nRep   = flag.Int("n", 4, "replicas for bfs/strict")
+	)
+	flag.Parse()
+	_ = kvservice.MinStateSize
+
+	var fc *bfs.Client
+	var cleanup func()
+
+	switch *target {
+	case "bfs", "strict":
+		cfg := pbft.Config{
+			Mode:               pbft.ModeMAC,
+			Opt:                pbft.DefaultOptions(),
+			CheckpointInterval: 64,
+			LogWindow:          128,
+			ViewChangeTimeout:  2 * time.Second,
+			StateSize:          bfs.MinRegionSize(8192 * *scale),
+			Seed:               1,
+		}
+		cluster := pbft.NewLocalCluster(*nRep, cfg, bfs.Factory, nil)
+		cluster.Start()
+		client := cluster.NewClient()
+		client.MaxRetries = 20
+		fc = bfs.NewClient(client)
+		fc.Strict = *target == "strict"
+		cleanup = cluster.Stop
+	case "norep":
+		net := simnet.New(simnet.WithSeed(1))
+		srv := baseline.NewServer(net, bfs.MinRegionSize(8192**scale), 4096, bfs.Factory)
+		srv.Start()
+		cl := baseline.NewClient(message.ClientIDBase, net)
+		fc = bfs.NewClient(cl)
+		cleanup = func() { cl.Close(); srv.Stop(); net.Close() }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown target %q\n", *target)
+		os.Exit(2)
+	}
+	defer cleanup()
+
+	fmt.Printf("Andrew-style benchmark, target=%s scale=%d\n", *target, *scale)
+	at, err := workload.RunAndrew(fc, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchmark failed: %v\n", err)
+		os.Exit(1)
+	}
+	for i, name := range workload.PhaseNames {
+		fmt.Printf("  phase %-8s %10.3f ms\n", name, float64(at.Phase[i].Microseconds())/1000)
+	}
+	fmt.Printf("  total         %10.3f ms\n", float64(at.Total.Microseconds())/1000)
+}

@@ -1,0 +1,107 @@
+// Command bftsim runs a scripted demonstration of the BFT library: a
+// replicated counter service survives a Byzantine replica, a primary
+// failure (view change), a network partition (state transfer), and a
+// proactive recovery, narrating each step.
+//
+//	bftsim -n 4 -mode mac
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/kvservice"
+	"repro/internal/message"
+	"repro/internal/pbft"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 4, "number of replicas (3f+1)")
+		mode = flag.String("mode", "mac", "authentication: mac (BFT) or pk (BFT-PK)")
+	)
+	flag.Parse()
+
+	m := pbft.ModeMAC
+	if *mode == "pk" {
+		m = pbft.ModePK
+	}
+	cfg := pbft.Config{
+		Mode:               m,
+		Opt:                pbft.DefaultOptions(),
+		CheckpointInterval: 8,
+		LogWindow:          16,
+		ViewChangeTimeout:  300 * time.Millisecond,
+		StateSize:          kvservice.MinStateSize,
+		Seed:               time.Now().UnixNano() % 1000,
+	}
+	behaviors := map[message.NodeID]pbft.Behavior{
+		message.NodeID(*n - 1): pbft.WrongResult, // one liar from the start
+	}
+	cluster := pbft.NewLocalCluster(*n, cfg, kvservice.Factory, behaviors)
+	cluster.Start()
+	defer cluster.Stop()
+
+	client := cluster.NewClient()
+	client.MaxRetries = 30
+
+	step := func(format string, args ...interface{}) {
+		fmt.Printf("\n==> "+format+"\n", args...)
+	}
+	incr := func(label string) {
+		res, err := client.Invoke(kvservice.Incr(), false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FATAL: %s: %v\n", label, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    counter = %d (%s)\n", kvservice.DecodeU64(res), label)
+	}
+
+	step("cluster of %d replicas (%s), tolerating f=%d faults; replica %d lies in every reply",
+		*n, m, (*n-1)/3, *n-1)
+	for i := 0; i < 3; i++ {
+		incr("normal case")
+	}
+
+	step("isolating the primary (replica 0) — backups will time out and elect a new one")
+	cluster.Net.Isolate(0)
+	t0 := time.Now()
+	incr("after view change")
+	fmt.Printf("    failover took %v; replica 1 now in view %d\n",
+		time.Since(t0).Round(time.Millisecond), cluster.Replica(1).View())
+	incr("new view, normal case")
+
+	step("healing the partition — the old primary rejoins and catches up")
+	cluster.Net.Heal()
+	for i := 0; i < 8; i++ {
+		incr("while replica 0 catches up")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for cluster.Replica(0).LastExecuted() < cluster.Replica(1).LastExecuted() {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("    replica 0 executed through %d (group at %d)\n",
+		cluster.Replica(0).LastExecuted(), cluster.Replica(1).LastExecuted())
+
+	step("proactively recovering replica 2 (BFT-PR, §4.3)")
+	cluster.Replica(2).Recover()
+	for cluster.Replica(2).Recovering() {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("    recovery completed in %v\n", cluster.Replica(2).Metrics().LastRecoveryTime.Round(time.Millisecond))
+	incr("after recovery")
+
+	step("final tally across replicas")
+	for i := 0; i < *n; i++ {
+		r := cluster.Replica(i)
+		mm := r.Metrics()
+		fmt.Printf("    replica %d: view=%d lastExec=%d stableCkpts=%d viewChanges=%d recoveries=%d\n",
+			i, r.View(), r.LastExecuted(), mm.StableCheckpoints, mm.ViewChanges, mm.Recoveries)
+	}
+	fmt.Println("\nall steps completed: the service stayed correct throughout.")
+}

@@ -1,0 +1,225 @@
+// Package baseline implements NO-REP: the same service, the same transport,
+// the same wire messages — but a single unreplicated server. It is the
+// baseline the paper compares BFT against (§8.3: "NO-REP ... a simple
+// implementation of the same service interface without replication"), and
+// the stand-in for the unreplicated NFS of the BFS comparison (§8.6).
+package baseline
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/message"
+	"repro/internal/simnet"
+	"repro/internal/statemachine"
+)
+
+// ServerID is the principal id the baseline server listens on.
+const ServerID message.NodeID = 0
+
+// Server is the unreplicated service endpoint.
+type Server struct {
+	region  *statemachine.Region
+	service statemachine.Service
+	trans   simnet.Transport
+	ks      *crypto.KeyStore
+
+	inbox chan []byte
+	stopC chan struct{}
+	wg    sync.WaitGroup
+
+	// exactly-once cache, like the replicated library's.
+	lastTS  map[message.NodeID]uint64
+	lastRes map[message.NodeID][]byte
+}
+
+// NewServer builds the server with its own service instance.
+func NewServer(net *simnet.Network, stateSize, pageSize int,
+	svc func(*statemachine.Region) statemachine.Service) *Server {
+	s := &Server{
+		region:  statemachine.NewRegion(stateSize, pageSize),
+		ks:      crypto.NewKeyStore(uint32(ServerID)),
+		inbox:   make(chan []byte, 8192),
+		stopC:   make(chan struct{}),
+		lastTS:  make(map[message.NodeID]uint64),
+		lastRes: make(map[message.NodeID][]byte),
+	}
+	s.service = svc(s.region)
+	s.trans = net.Attach(ServerID, func(p []byte) {
+		select {
+		case s.inbox <- p:
+		default:
+		}
+	})
+	return s
+}
+
+// Start launches the server loop.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Stop terminates the server.
+func (s *Server) Stop() {
+	close(s.stopC)
+	s.wg.Wait()
+	s.trans.Close()
+}
+
+func (s *Server) run() {
+	defer s.wg.Done()
+	for {
+		select {
+		case p := <-s.inbox:
+			s.onRaw(p)
+		case <-s.stopC:
+			return
+		}
+	}
+}
+
+func (s *Server) onRaw(p []byte) {
+	m, err := message.Unmarshal(p)
+	if err != nil {
+		return
+	}
+	req, ok := m.(*message.Request)
+	if !ok {
+		return
+	}
+	// Authenticate: the client's vector contains our entry at index 0.
+	if k, _ := s.ks.OutKey(uint32(req.Client)); k == nil {
+		s.ks.InstallInitial(uint32(req.Client))
+	}
+	if req.Auth.Kind != message.AuthVector ||
+		!s.ks.CheckAuthenticator(uint32(req.Client), req.Payload(), req.Auth.Vector) {
+		return
+	}
+
+	var result []byte
+	if last, ok := s.lastTS[req.Client]; ok && req.Timestamp <= last {
+		if req.Timestamp < last {
+			return
+		}
+		result = s.lastRes[req.Client]
+	} else {
+		result = s.service.Execute(req.Client, req.Op, s.service.ProposeNonDet())
+		s.lastTS[req.Client] = req.Timestamp
+		s.lastRes[req.Client] = result
+	}
+
+	rep := &message.Reply{
+		Timestamp:    req.Timestamp,
+		Client:       req.Client,
+		Replica:      ServerID,
+		HasResult:    true,
+		Result:       result,
+		ResultDigest: crypto.DigestOf(result),
+	}
+	rep.Auth = message.Auth{
+		Kind: message.AuthMAC,
+		MAC:  s.ks.ComputePointMAC(uint32(req.Client), rep.Payload()),
+	}
+	s.trans.Send(req.Client, rep.Marshal())
+}
+
+// Client invokes operations against the baseline server. It satisfies the
+// same Invoke contract as the BFT client.
+type Client struct {
+	id    message.NodeID
+	ks    *crypto.KeyStore
+	trans simnet.Transport
+
+	RetryTimeout time.Duration
+	MaxRetries   int
+
+	mu        sync.Mutex
+	timestamp uint64
+	waiting   map[uint64]chan []byte
+}
+
+// NewClient attaches a baseline client.
+func NewClient(id message.NodeID, net *simnet.Network) *Client {
+	c := &Client{
+		id:           id,
+		ks:           crypto.NewKeyStore(uint32(id)),
+		RetryTimeout: 150 * time.Millisecond,
+		MaxRetries:   10,
+		waiting:      make(map[uint64]chan []byte),
+	}
+	c.ks.InstallInitial(uint32(ServerID))
+	c.trans = net.Attach(id, c.onRaw)
+	return c
+}
+
+// Close detaches the client.
+func (c *Client) Close() { c.trans.Close() }
+
+func (c *Client) onRaw(p []byte) {
+	m, err := message.Unmarshal(p)
+	if err != nil {
+		return
+	}
+	rep, ok := m.(*message.Reply)
+	if !ok || rep.Client != c.id || rep.Auth.Kind != message.AuthMAC {
+		return
+	}
+	if !c.ks.CheckPointMAC(uint32(ServerID), rep.Payload(), rep.Auth.MAC) {
+		return
+	}
+	if crypto.DigestOf(rep.Result) != rep.ResultDigest {
+		return
+	}
+	c.mu.Lock()
+	ch := c.waiting[rep.Timestamp]
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- rep.Result:
+		default:
+		}
+	}
+}
+
+// Invoke executes one operation (readOnly is accepted for interface parity;
+// the baseline treats everything identically).
+func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
+	c.mu.Lock()
+	c.timestamp++
+	ts := c.timestamp
+	ch := make(chan []byte, 1)
+	c.waiting[ts] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiting, ts)
+		c.mu.Unlock()
+	}()
+
+	req := &message.Request{
+		Client:    c.id,
+		Timestamp: ts,
+		Replier:   ServerID,
+		Op:        op,
+	}
+	req.Auth = message.Auth{
+		Kind:   message.AuthVector,
+		Vector: c.ks.MakeAuthenticator(1, req.Payload()),
+	}
+	raw := req.Marshal()
+
+	timeout := c.RetryTimeout
+	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		c.trans.Send(ServerID, raw)
+		select {
+		case res := <-ch:
+			return res, nil
+		case <-time.After(timeout):
+			timeout *= 2
+		}
+	}
+	return nil, errors.New("baseline: request timed out")
+}

@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvservice"
+	"repro/internal/message"
+	"repro/internal/simnet"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	net := simnet.New(simnet.WithSeed(3))
+	t.Cleanup(net.Close)
+	srv := NewServer(net, kvservice.MinStateSize, 4096, kvservice.Factory)
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	cl := NewClient(message.ClientIDBase, net)
+	t.Cleanup(cl.Close)
+	return srv, cl
+}
+
+func TestBaselineInvoke(t *testing.T) {
+	_, cl := newPair(t)
+	for i := 1; i <= 5; i++ {
+		res, err := cl.Invoke(kvservice.Incr(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := kvservice.DecodeU64(res); got != uint64(i) {
+			t.Fatalf("incr %d -> %d", i, got)
+		}
+	}
+	res, err := cl.Invoke(kvservice.Get(), true)
+	if err != nil || kvservice.DecodeU64(res) != 5 {
+		t.Fatalf("get: %v %d", err, kvservice.DecodeU64(res))
+	}
+}
+
+func TestBaselineExactlyOnceUnderLoss(t *testing.T) {
+	net := simnet.New(simnet.WithSeed(9), simnet.WithDefaults(simnet.LinkConfig{LossRate: 0.3}))
+	t.Cleanup(net.Close)
+	srv := NewServer(net, kvservice.MinStateSize, 4096, kvservice.Factory)
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	cl := NewClient(message.ClientIDBase, net)
+	t.Cleanup(cl.Close)
+	cl.RetryTimeout = 30 * time.Millisecond
+	cl.MaxRetries = 30
+
+	for i := 1; i <= 10; i++ {
+		res, err := cl.Invoke(kvservice.Incr(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := kvservice.DecodeU64(res); got != uint64(i) {
+			t.Fatalf("incr %d -> %d (retransmission double-executed)", i, got)
+		}
+	}
+}
+
+func TestBaselineConcurrentClients(t *testing.T) {
+	net := simnet.New(simnet.WithSeed(4))
+	t.Cleanup(net.Close)
+	srv := NewServer(net, kvservice.MinStateSize, 4096, kvservice.Factory)
+	srv.Start()
+	t.Cleanup(srv.Stop)
+
+	const n = 4
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		cl := NewClient(message.ClientIDBase+message.NodeID(i), net)
+		t.Cleanup(cl.Close)
+		go func() {
+			for j := 0; j < 10; j++ {
+				if _, err := cl.Invoke(kvservice.Incr(), false); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := NewClient(message.ClientIDBase+100, net)
+	t.Cleanup(cl.Close)
+	res, err := cl.Invoke(kvservice.Get(), true)
+	if err != nil || kvservice.DecodeU64(res) != n*10 {
+		t.Fatalf("counter %d, want %d", kvservice.DecodeU64(res), n*10)
+	}
+}

@@ -1,0 +1,538 @@
+package bfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/statemachine"
+)
+
+// directInvoker runs ops straight against a Service (no replication), for
+// unit-testing the file system through its public operation interface.
+type directInvoker struct {
+	s     *Service
+	clock int64
+}
+
+func (d *directInvoker) Invoke(op []byte, ro bool) ([]byte, error) {
+	d.clock++
+	nondet := d.s.ProposeNonDet()
+	return d.s.Execute(message.ClientIDBase, op, nondet), nil
+}
+
+func newFSClient(t testing.TB, blocks int) (*Client, *Service) {
+	t.Helper()
+	r := statemachine.NewRegion(MinRegionSize(blocks), 4096)
+	svc := NewService(r)
+	base := int64(1_000_000)
+	svc.Clock = func() int64 { base++; return base }
+	return NewClient(&directInvoker{s: svc}), svc
+}
+
+func TestCreateLookupGetAttr(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, err := c.Create(RootIno, "hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Type != TypeFile || a.Size != 0 {
+		t.Fatalf("attr %+v", a)
+	}
+	got, err := c.Lookup(RootIno, "hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ino != a.Ino {
+		t.Fatal("lookup returned different inode")
+	}
+	if _, err := c.Lookup(RootIno, "absent"); err != Status(ErrNoEnt) {
+		t.Fatalf("lookup absent: %v", err)
+	}
+	if _, err := c.Create(RootIno, "hello.txt"); err != Status(ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, _ := c.Create(RootIno, "f")
+	data := []byte("the quick brown fox")
+	n, err := c.Write(a.Ino, 0, data)
+	if err != nil || n != len(data) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	got, err := c.Read(a.Ino, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q", got)
+	}
+	// Partial read.
+	got, _ = c.Read(a.Ino, 4, 5)
+	if string(got) != "quick" {
+		t.Fatalf("partial read %q", got)
+	}
+	// Read past EOF.
+	got, _ = c.Read(a.Ino, 1000, 10)
+	if len(got) != 0 {
+		t.Fatal("read past EOF returned data")
+	}
+}
+
+func TestWriteAcrossBlocks(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, _ := c.Create(RootIno, "big")
+	data := make([]byte, BlockSize*3+100)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if n, err := c.Write(a.Ino, 0, data); err != nil || n != len(data) {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	got, err := c.Read(a.Ino, 0, uint32(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip failed")
+	}
+	// Overwrite in the middle.
+	patch := []byte("PATCH")
+	c.Write(a.Ino, BlockSize-2, patch)
+	got, _ = c.Read(a.Ino, BlockSize-2, 5)
+	if !bytes.Equal(got, patch) {
+		t.Fatalf("cross-block patch read %q", got)
+	}
+}
+
+func TestIndirectBlocks(t *testing.T) {
+	c, _ := newFSClient(t, 1024)
+	a, _ := c.Create(RootIno, "huge")
+	// Beyond the direct range.
+	size := (NDirect + 5) * BlockSize
+	data := bytes.Repeat([]byte{0x5A}, size)
+	if n, err := c.Write(a.Ino, 0, data); err != nil || n != size {
+		t.Fatalf("indirect write: %d %v", n, err)
+	}
+	got, err := c.ReadFile(a.Ino)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("indirect read back failed")
+	}
+}
+
+func TestSparseHolesReadZero(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, _ := c.Create(RootIno, "sparse")
+	c.Write(a.Ino, BlockSize*2, []byte("tail"))
+	got, _ := c.Read(a.Ino, 0, BlockSize)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("hole not zero")
+		}
+	}
+	at, _ := c.GetAttr(a.Ino)
+	if at.Size != BlockSize*2+4 {
+		t.Fatalf("size %d", at.Size)
+	}
+}
+
+func TestTruncateAndExtend(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, _ := c.Create(RootIno, "t")
+	c.Write(a.Ino, 0, bytes.Repeat([]byte{1}, 3000))
+	if at, _ := c.SetSize(a.Ino, 100); at.Size != 100 {
+		t.Fatal("truncate failed")
+	}
+	// Extension reads zeros after the old content.
+	if at, _ := c.SetSize(a.Ino, 200); at.Size != 200 {
+		t.Fatal("extend failed")
+	}
+	got, _ := c.Read(a.Ino, 0, 200)
+	if len(got) != 200 {
+		t.Fatalf("read %d bytes", len(got))
+	}
+	for i := 100; i < 200; i++ {
+		if got[i] != 0 {
+			t.Fatalf("extended byte %d = %d, want 0", i, got[i])
+		}
+	}
+	// The freed blocks are reusable.
+	total0, free0, _ := c.StatFS()
+	if free0 == 0 || free0 > total0 {
+		t.Fatalf("statfs %d/%d", free0, total0)
+	}
+}
+
+func TestMkdirTreeAndReaddir(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	sub, err := c.Mkdir(RootIno, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Create(sub.Ino, "a")
+	c.Create(sub.Ino, "b")
+	c.Mkdir(sub.Ino, "c")
+	ents, err := c.Readdir(sub.Ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("%d entries", len(ents))
+	}
+	names := map[string]bool{}
+	for _, e := range ents {
+		names[e.Name] = true
+	}
+	if !names["a"] || !names["b"] || !names["c"] {
+		t.Fatalf("entries %v", ents)
+	}
+	// Nested resolution via WalkPath.
+	if _, err := c.WalkPath("/sub/a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, _ := c.Create(RootIno, "f")
+	d, _ := c.Mkdir(RootIno, "d")
+	c.Create(d.Ino, "inner")
+
+	if err := c.Remove(RootIno, "d"); err != Status(ErrIsDir) {
+		t.Fatalf("remove dir as file: %v", err)
+	}
+	if err := c.Rmdir(RootIno, "f"); err != Status(ErrNotDir) {
+		t.Fatalf("rmdir file: %v", err)
+	}
+	if err := c.Rmdir(RootIno, "d"); err != Status(ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := c.Remove(d.Ino, "inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir(RootIno, "d"); err != nil {
+		t.Fatalf("rmdir empty: %v", err)
+	}
+	if err := c.Remove(RootIno, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetAttr(a.Ino); err != Status(ErrStale) {
+		t.Fatalf("stale inode: %v", err)
+	}
+	// All file blocks are released; the root directory legitimately keeps
+	// its own entry block.
+	total, free, _ := c.StatFS()
+	if free < total-1 {
+		t.Fatalf("leak: %d free of %d after removing everything", free, total)
+	}
+}
+
+func TestRename(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, _ := c.Create(RootIno, "old")
+	c.Write(a.Ino, 0, []byte("payload"))
+	d, _ := c.Mkdir(RootIno, "dir")
+
+	if err := c.Rename(RootIno, "old", d.Ino, "new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup(RootIno, "old"); err != Status(ErrNoEnt) {
+		t.Fatal("source still present")
+	}
+	got, err := c.WalkPath("/dir/new")
+	if err != nil || got.Ino != a.Ino {
+		t.Fatal("rename lost the inode")
+	}
+	// Replace semantics.
+	b, _ := c.Create(RootIno, "victim")
+	c.Write(b.Ino, 0, []byte("junk"))
+	if err := c.Rename(d.Ino, "new", RootIno, "victim"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Lookup(RootIno, "victim")
+	if v.Ino != a.Ino {
+		t.Fatal("replace rename kept the victim inode")
+	}
+	data, _ := c.ReadFile(v.Ino)
+	if string(data) != "payload" {
+		t.Fatalf("content after rename %q", data)
+	}
+}
+
+func TestRenameWithinSameDir(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, _ := c.Create(RootIno, "x")
+	if err := c.Rename(RootIno, "x", RootIno, "y"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup(RootIno, "y")
+	if err != nil || got.Ino != a.Ino {
+		t.Fatal("same-dir rename broken")
+	}
+	if _, err := c.Lookup(RootIno, "x"); err != Status(ErrNoEnt) {
+		t.Fatal("old name lingers")
+	}
+}
+
+func TestSymlink(t *testing.T) {
+	c, _ := newFSClient(t, 256)
+	a, err := c.Symlink(RootIno, "link", "/target/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Readlink(a.Ino)
+	if err != nil || got != "/target/path" {
+		t.Fatalf("readlink %q %v", got, err)
+	}
+	f, _ := c.Create(RootIno, "plain")
+	if _, err := c.Readlink(f.Ino); err != Status(ErrInval) {
+		t.Fatal("readlink on file")
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	c, _ := newFSClient(t, 16) // tiny FS
+	a, _ := c.Create(RootIno, "f")
+	big := bytes.Repeat([]byte{1}, 64*BlockSize)
+	_, err := c.Write(a.Ino, 0, big)
+	// Either a short write or ErrNoSpc is acceptable; the FS must survive.
+	_ = err
+	if _, err := c.GetAttr(a.Ino); err != nil {
+		t.Fatal("fs corrupted after ENOSPC")
+	}
+	// Freeing makes room again.
+	if err := c.Remove(RootIno, "f"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Create(RootIno, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(b.Ino, 0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMtimeFromNonDet(t *testing.T) {
+	r := statemachine.NewRegion(MinRegionSize(64), 4096)
+	svc := NewService(r)
+	var nd [8]byte
+	nd[0] = 42 // agreed "time"
+	res := svc.Execute(message.ClientIDBase, enc(opCreate).u32(RootIno).str("f").b, nd[:])
+	if Status(res[0]) != OK {
+		t.Fatal("create failed")
+	}
+	a := getAttr(res[1:])
+	if a.Mtime != 42 {
+		t.Fatalf("mtime %d, want agreed 42", a.Mtime)
+	}
+}
+
+func TestServiceTotalOnGarbage(t *testing.T) {
+	r := statemachine.NewRegion(MinRegionSize(64), 4096)
+	svc := NewService(r)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		op := make([]byte, rng.Intn(64))
+		rng.Read(op)
+		_ = svc.Execute(message.ClientIDBase, op, svc.ProposeNonDet())
+	}
+	// Root must still be intact.
+	res := svc.Execute(message.ClientIDBase, enc(opGetAttr).u32(RootIno).b, svc.ProposeNonDet())
+	if Status(res[0]) != OK {
+		t.Fatal("root damaged by garbage ops")
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	// Two service instances fed identical op streams produce identical
+	// regions — the property replication depends on.
+	mk := func() (*Service, *statemachine.Region) {
+		r := statemachine.NewRegion(MinRegionSize(128), 4096)
+		return NewService(r), r
+	}
+	s1, r1 := mk()
+	s2, r2 := mk()
+	rng := rand.New(rand.NewSource(7))
+	var nd [8]byte
+	ops := [][]byte{
+		enc(opMkdir).u32(RootIno).str("d").b,
+		enc(opCreate).u32(2).str("f1").b,
+		enc(opWrite).u32(3).u64(0).raw([]byte("hello world")).b,
+		enc(opCreate).u32(RootIno).str("f2").b,
+		enc(opRename).u32(2).str("f1").u32(RootIno).str("moved").b,
+		enc(opSetSize).u32(3).u64(5).b,
+		enc(opRemove).u32(RootIno).str("f2").b,
+	}
+	for i, op := range ops {
+		rng.Read(nd[:])
+		o1 := s1.Execute(message.ClientIDBase, op, nd[:])
+		o2 := s2.Execute(message.ClientIDBase, op, nd[:])
+		if !bytes.Equal(o1, o2) {
+			t.Fatalf("op %d results diverge", i)
+		}
+	}
+	if !bytes.Equal(r1.Bytes(), r2.Bytes()) {
+		t.Fatal("regions diverge")
+	}
+}
+
+// --- Model-based property test: the FS against an in-memory map model ---
+
+type modelFile struct {
+	isDir bool
+	data  []byte
+	kids  map[string]*modelFile
+}
+
+func TestModelBasedRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runModelTest(t, seed, 400)
+		})
+	}
+}
+
+func runModelTest(t *testing.T, seed int64, steps int) {
+	c, _ := newFSClient(t, 2048)
+	rng := rand.New(rand.NewSource(seed))
+
+	root := &modelFile{isDir: true, kids: map[string]*modelFile{}}
+	inoOf := map[*modelFile]uint32{root: RootIno}
+	// flat list of model dirs and files for random picking
+	dirs := []*modelFile{root}
+	files := []*modelFile{}
+
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(6) {
+		case 0: // create
+			d := dirs[rng.Intn(len(dirs))]
+			name := names[rng.Intn(len(names))]
+			a, err := c.Create(inoOf[d], name)
+			if _, exists := d.kids[name]; exists {
+				if err != Status(ErrExist) {
+					t.Fatalf("step %d: create existing: %v", step, err)
+				}
+			} else if err != nil {
+				t.Fatalf("step %d: create: %v", step, err)
+			} else {
+				mf := &modelFile{}
+				d.kids[name] = mf
+				inoOf[mf] = a.Ino
+				files = append(files, mf)
+			}
+		case 1: // mkdir
+			d := dirs[rng.Intn(len(dirs))]
+			name := names[rng.Intn(len(names))]
+			a, err := c.Mkdir(inoOf[d], name)
+			if _, exists := d.kids[name]; exists {
+				if err != Status(ErrExist) {
+					t.Fatalf("step %d: mkdir existing: %v", step, err)
+				}
+			} else if err != nil {
+				t.Fatalf("step %d: mkdir: %v", step, err)
+			} else {
+				mf := &modelFile{isDir: true, kids: map[string]*modelFile{}}
+				d.kids[name] = mf
+				inoOf[mf] = a.Ino
+				dirs = append(dirs, mf)
+			}
+		case 2: // write
+			if len(files) == 0 {
+				continue
+			}
+			f := files[rng.Intn(len(files))]
+			if inoOf[f] == 0 {
+				continue
+			}
+			off := rng.Intn(3000)
+			data := make([]byte, rng.Intn(500)+1)
+			rng.Read(data)
+			n, err := c.Write(inoOf[f], uint64(off), data)
+			if err != nil {
+				t.Fatalf("step %d: write: %v", step, err)
+			}
+			// apply to model
+			if off+n > len(f.data) {
+				grown := make([]byte, off+n)
+				copy(grown, f.data)
+				f.data = grown
+			}
+			copy(f.data[off:], data[:n])
+		case 3: // read & compare
+			if len(files) == 0 {
+				continue
+			}
+			f := files[rng.Intn(len(files))]
+			if inoOf[f] == 0 {
+				continue
+			}
+			got, err := c.ReadFile(inoOf[f])
+			if err != nil {
+				t.Fatalf("step %d: read: %v", step, err)
+			}
+			if !bytes.Equal(got, f.data) {
+				t.Fatalf("step %d: content mismatch: got %d bytes want %d", step, len(got), len(f.data))
+			}
+		case 4: // readdir & compare
+			d := dirs[rng.Intn(len(dirs))]
+			ents, err := c.Readdir(inoOf[d])
+			if err != nil {
+				t.Fatalf("step %d: readdir: %v", step, err)
+			}
+			if len(ents) != len(d.kids) {
+				t.Fatalf("step %d: %d entries, model has %d", step, len(ents), len(d.kids))
+			}
+			for _, e := range ents {
+				if _, ok := d.kids[e.Name]; !ok {
+					t.Fatalf("step %d: phantom entry %q", step, e.Name)
+				}
+			}
+		case 5: // remove a file
+			d := dirs[rng.Intn(len(dirs))]
+			if len(d.kids) == 0 {
+				continue
+			}
+			var name string
+			var mf *modelFile
+			for k, v := range d.kids {
+				name, mf = k, v
+				break
+			}
+			if mf.isDir {
+				err := c.Rmdir(inoOf[d], name)
+				if len(mf.kids) > 0 {
+					if err != Status(ErrNotEmpty) {
+						t.Fatalf("step %d: rmdir non-empty: %v", step, err)
+					}
+				} else if err != nil {
+					t.Fatalf("step %d: rmdir: %v", step, err)
+				} else {
+					delete(d.kids, name)
+					delete(inoOf, mf)
+					for i, dd := range dirs {
+						if dd == mf {
+							dirs = append(dirs[:i], dirs[i+1:]...)
+							break
+						}
+					}
+				}
+			} else {
+				if err := c.Remove(inoOf[d], name); err != nil {
+					t.Fatalf("step %d: remove: %v", step, err)
+				}
+				delete(d.kids, name)
+				delete(inoOf, mf)
+				for i, ff := range files {
+					if ff == mf {
+						files = append(files[:i], files[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+}

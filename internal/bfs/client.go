@@ -1,0 +1,305 @@
+package bfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Invoker is the replication-agnostic execution interface: the BFT client
+// and the unreplicated baseline both satisfy it, so the same BFS client
+// drives the paper's BFS and NO-REP configurations (§8.6).
+type Invoker interface {
+	Invoke(op []byte, readOnly bool) ([]byte, error)
+}
+
+// Client is the typed BFS client, the analogue of the thesis's NFS relay:
+// it encodes file operations as state-machine ops and decodes the
+// status-prefixed results.
+type Client struct {
+	inv Invoker
+	// Strict disables the read-only optimization for lookups/reads,
+	// matching the thesis's BFS-strict configuration (§8.6.2).
+	Strict bool
+}
+
+// NewClient wraps an invoker.
+func NewClient(inv Invoker) *Client { return &Client{inv: inv} }
+
+// ErrBadReply reports a malformed service result.
+var ErrBadReply = errors.New("bfs: malformed reply")
+
+func (c *Client) call(op []byte, ro bool) ([]byte, error) {
+	if c.Strict {
+		ro = false
+	}
+	res, err := c.inv.Invoke(op, ro)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) < 1 {
+		return nil, ErrBadReply
+	}
+	if st := Status(res[0]); st != OK {
+		return nil, st
+	}
+	return res[1:], nil
+}
+
+type opEncoder struct{ b []byte }
+
+func enc(code byte) *opEncoder { return &opEncoder{b: []byte{code}} }
+
+func (e *opEncoder) u32(v uint32) *opEncoder {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+	return e
+}
+
+func (e *opEncoder) u64(v uint64) *opEncoder {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+	return e
+}
+
+func (e *opEncoder) str(s string) *opEncoder {
+	e.b = append(e.b, byte(len(s)))
+	e.b = append(e.b, s...)
+	return e
+}
+
+func (e *opEncoder) raw(p []byte) *opEncoder {
+	e.b = append(e.b, p...)
+	return e
+}
+
+func decodeAttr(p []byte) (Attr, error) {
+	if len(p) < attrSize {
+		return Attr{}, ErrBadReply
+	}
+	return getAttr(p), nil
+}
+
+// Lookup resolves name in directory dir.
+func (c *Client) Lookup(dir uint32, name string) (Attr, error) {
+	p, err := c.call(enc(opLookup).u32(dir).str(name).b, true)
+	if err != nil {
+		return Attr{}, err
+	}
+	return decodeAttr(p)
+}
+
+// GetAttr fetches attributes.
+func (c *Client) GetAttr(ino uint32) (Attr, error) {
+	p, err := c.call(enc(opGetAttr).u32(ino).b, true)
+	if err != nil {
+		return Attr{}, err
+	}
+	return decodeAttr(p)
+}
+
+// SetSize truncates or extends a file.
+func (c *Client) SetSize(ino uint32, size uint64) (Attr, error) {
+	p, err := c.call(enc(opSetSize).u32(ino).u64(size).b, false)
+	if err != nil {
+		return Attr{}, err
+	}
+	return decodeAttr(p)
+}
+
+// Create makes a regular file.
+func (c *Client) Create(dir uint32, name string) (Attr, error) {
+	p, err := c.call(enc(opCreate).u32(dir).str(name).b, false)
+	if err != nil {
+		return Attr{}, err
+	}
+	return decodeAttr(p)
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(dir uint32, name string) (Attr, error) {
+	p, err := c.call(enc(opMkdir).u32(dir).str(name).b, false)
+	if err != nil {
+		return Attr{}, err
+	}
+	return decodeAttr(p)
+}
+
+// Symlink makes a symbolic link holding target.
+func (c *Client) Symlink(dir uint32, name, target string) (Attr, error) {
+	p, err := c.call(enc(opSymlink).u32(dir).str(name).raw([]byte(target)).b, false)
+	if err != nil {
+		return Attr{}, err
+	}
+	return decodeAttr(p)
+}
+
+// Readlink reads a symlink target.
+func (c *Client) Readlink(ino uint32) (string, error) {
+	p, err := c.call(enc(opReadlink).u32(ino).b, true)
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// Remove unlinks a file or symlink.
+func (c *Client) Remove(dir uint32, name string) error {
+	_, err := c.call(enc(opRemove).u32(dir).str(name).b, false)
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(dir uint32, name string) error {
+	_, err := c.call(enc(opRmdir).u32(dir).str(name).b, false)
+	return err
+}
+
+// Read returns up to count bytes at off.
+func (c *Client) Read(ino uint32, off uint64, count uint32) ([]byte, error) {
+	return c.call(enc(opRead).u32(ino).u64(off).u32(count).b, true)
+}
+
+// Write stores data at off and returns the bytes written.
+func (c *Client) Write(ino uint32, off uint64, data []byte) (int, error) {
+	p, err := c.call(enc(opWrite).u32(ino).u64(off).raw(data).b, false)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) < 4 {
+		return 0, ErrBadReply
+	}
+	return int(binary.LittleEndian.Uint32(p)), nil
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(dir uint32) ([]DirEntry, error) {
+	p, err := c.call(enc(opReaddir).u32(dir).b, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) < 4 {
+		return nil, ErrBadReply
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	out := make([]DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p) < 5 {
+			return nil, ErrBadReply
+		}
+		ino := binary.LittleEndian.Uint32(p)
+		nl := int(p[4])
+		p = p[5:]
+		if len(p) < nl {
+			return nil, ErrBadReply
+		}
+		out = append(out, DirEntry{Ino: ino, Name: string(p[:nl])})
+		p = p[nl:]
+	}
+	return out, nil
+}
+
+// Rename moves sdir/sname to ddir/dname.
+func (c *Client) Rename(sdir uint32, sname string, ddir uint32, dname string) error {
+	_, err := c.call(enc(opRename).u32(sdir).str(sname).u32(ddir).str(dname).b, false)
+	return err
+}
+
+// StatFS returns (total, free) data blocks.
+func (c *Client) StatFS() (total, free uint64, err error) {
+	p, err := c.call(enc(opStatFS).b, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(p) < 16 {
+		return 0, 0, ErrBadReply
+	}
+	return binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint64(p[8:]), nil
+}
+
+// --- Path helpers (convenience for examples and benchmarks) ---
+
+// WalkPath resolves an absolute slash-separated path to an inode.
+func (c *Client) WalkPath(path string) (Attr, error) {
+	cur := uint32(RootIno)
+	attr := Attr{Ino: RootIno, Type: TypeDir}
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		a, err := c.Lookup(cur, part)
+		if err != nil {
+			return Attr{}, fmt.Errorf("bfs: walk %q at %q: %w", path, part, err)
+		}
+		attr = a
+		cur = a.Ino
+	}
+	return attr, nil
+}
+
+// MkdirAll creates every directory along an absolute path.
+func (c *Client) MkdirAll(path string) (uint32, error) {
+	cur := uint32(RootIno)
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		a, err := c.Lookup(cur, part)
+		if err == nil {
+			cur = a.Ino
+			continue
+		}
+		a, err = c.Mkdir(cur, part)
+		if err != nil {
+			return 0, err
+		}
+		cur = a.Ino
+	}
+	return cur, nil
+}
+
+// WriteFile creates (or truncates) dir/name with the given content.
+func (c *Client) WriteFile(dir uint32, name string, data []byte) (uint32, error) {
+	a, err := c.Lookup(dir, name)
+	if err != nil {
+		a, err = c.Create(dir, name)
+		if err != nil {
+			return 0, err
+		}
+	} else if _, err := c.SetSize(a.Ino, 0); err != nil {
+		return 0, err
+	}
+	// Chunked writes keep request sizes realistic.
+	const chunk = 4096
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := c.Write(a.Ino, uint64(off), data[off:end]); err != nil {
+			return 0, err
+		}
+	}
+	return a.Ino, nil
+}
+
+// ReadFile reads the whole file.
+func (c *Client) ReadFile(ino uint32) ([]byte, error) {
+	a, err := c.GetAttr(ino)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, a.Size)
+	const chunk = 4096
+	for off := uint64(0); off < a.Size; off += chunk {
+		p, err := c.Read(ino, off, chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+		if len(p) == 0 {
+			break
+		}
+	}
+	return out, nil
+}

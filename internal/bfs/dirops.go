@@ -1,0 +1,124 @@
+package bfs
+
+import (
+	"encoding/binary"
+)
+
+// Directory entries are fixed-size DirEntrySize records inside the
+// directory's file data: 4-byte inode number (0 = free slot), 1-byte name
+// length, name bytes.
+
+// DirEntry is a decoded directory entry.
+type DirEntry struct {
+	Ino  uint32
+	Name string
+}
+
+// lookupDir finds name in dir, returning the child inode number and the
+// entry's byte offset.
+func (fs *FS) lookupDir(dir *Inode, name string) (uint32, uint64, bool) {
+	var rec [DirEntrySize]byte
+	n := dir.Size / DirEntrySize
+	for i := uint64(0); i < n; i++ {
+		off := i * DirEntrySize
+		if fs.ReadAt(dir, off, rec[:]) != DirEntrySize {
+			return 0, 0, false
+		}
+		ino := binary.LittleEndian.Uint32(rec[:])
+		if ino == 0 {
+			continue
+		}
+		nl := int(rec[4])
+		if nl > MaxNameLen {
+			continue
+		}
+		if string(rec[5:5+nl]) == name {
+			return ino, off, true
+		}
+	}
+	return 0, 0, false
+}
+
+// addDirEntry inserts (name -> ino) into dir, reusing a free slot if any.
+// Returns false when out of space.
+func (fs *FS) addDirEntry(dir *Inode, name string, ino uint32) bool {
+	var rec [DirEntrySize]byte
+	n := dir.Size / DirEntrySize
+	slot := n
+	for i := uint64(0); i < n; i++ {
+		if fs.ReadAt(dir, i*DirEntrySize, rec[:]) != DirEntrySize {
+			return false
+		}
+		if binary.LittleEndian.Uint32(rec[:]) == 0 {
+			slot = i
+			break
+		}
+	}
+	clear(rec[:])
+	binary.LittleEndian.PutUint32(rec[:], ino)
+	rec[4] = byte(len(name))
+	copy(rec[5:], name)
+	w, short := fs.WriteAt(dir, slot*DirEntrySize, rec[:])
+	return w == DirEntrySize && !short
+}
+
+// removeDirEntry clears the entry at byte offset off.
+func (fs *FS) removeDirEntry(dir *Inode, off uint64) {
+	var zero [4]byte
+	fs.WriteAt(dir, off, zero[:])
+}
+
+// dirEntries lists the live entries of dir.
+func (fs *FS) dirEntries(dir *Inode) []DirEntry {
+	var out []DirEntry
+	var rec [DirEntrySize]byte
+	n := dir.Size / DirEntrySize
+	for i := uint64(0); i < n; i++ {
+		if fs.ReadAt(dir, i*DirEntrySize, rec[:]) != DirEntrySize {
+			break
+		}
+		ino := binary.LittleEndian.Uint32(rec[:])
+		if ino == 0 {
+			continue
+		}
+		nl := int(rec[4])
+		if nl > MaxNameLen {
+			continue
+		}
+		out = append(out, DirEntry{Ino: ino, Name: string(rec[5 : 5+nl])})
+	}
+	return out
+}
+
+// isDescendant reports whether candidate lies in root's directory subtree.
+func (fs *FS) isDescendant(root, candidate uint32) bool {
+	in, ok := fs.ReadInode(root)
+	if !ok || in.Type != TypeDir {
+		return false
+	}
+	for _, e := range fs.dirEntries(&in) {
+		if e.Ino == candidate {
+			return true
+		}
+		child, ok := fs.ReadInode(e.Ino)
+		if ok && child.Type == TypeDir && fs.isDescendant(e.Ino, candidate) {
+			return true
+		}
+	}
+	return false
+}
+
+// dirEmpty reports whether dir has no live entries.
+func (fs *FS) dirEmpty(dir *Inode) bool {
+	var rec [DirEntrySize]byte
+	n := dir.Size / DirEntrySize
+	for i := uint64(0); i < n; i++ {
+		if fs.ReadAt(dir, i*DirEntrySize, rec[:]) != DirEntrySize {
+			break
+		}
+		if binary.LittleEndian.Uint32(rec[:]) != 0 {
+			return false
+		}
+	}
+	return true
+}

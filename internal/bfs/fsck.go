@@ -1,0 +1,158 @@
+package bfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CheckError describes one inconsistency found by Check.
+type CheckError struct {
+	Ino  uint32
+	What string
+}
+
+func (e CheckError) Error() string {
+	return fmt.Sprintf("bfs: fsck: inode %d: %s", e.Ino, e.What)
+}
+
+// Check is an fsck-style consistency verifier: it walks the inode table and
+// directory tree and cross-checks the allocation bitmap. It reports
+//
+//   - data block numbers out of range or doubly referenced,
+//   - allocated blocks referenced by no inode (leaks),
+//   - referenced blocks marked free in the bitmap,
+//   - directory entries pointing at free or out-of-range inodes,
+//   - directories unreachable from the root,
+//   - link/entry count mismatches for directories, and
+//   - free-block counter drift in the superblock.
+//
+// The replication library never needs Check for correctness (state digests
+// guard integrity end-to-end); it exists for tests and for operators
+// inspecting a replica image.
+func (fs *FS) Check() []error {
+	var errs []error
+	report := func(ino uint32, format string, args ...interface{}) {
+		errs = append(errs, CheckError{Ino: ino, What: fmt.Sprintf(format, args...)})
+	}
+
+	// Pass 1: walk inodes, collect block references.
+	refs := make(map[uint32]uint32) // block -> owning inode
+	usedBlocks := 0
+	addRef := func(ino, b uint32) {
+		if b == 0 {
+			return
+		}
+		if int(b) >= fs.numBlocks {
+			report(ino, "block %d out of range", b)
+			return
+		}
+		if owner, dup := refs[b]; dup {
+			report(ino, "block %d doubly referenced (also inode %d)", b, owner)
+			return
+		}
+		refs[b] = ino
+		usedBlocks++
+		// Bitmap must mark it allocated.
+		if fs.r.Bytes()[fs.bitmapBase+int(b)>>3]&(1<<(b&7)) == 0 {
+			report(ino, "block %d referenced but marked free", b)
+		}
+	}
+
+	live := make(map[uint32]*Inode)
+	for ino := uint32(1); int(ino) < fs.numInodes; ino++ {
+		in, ok := fs.ReadInode(ino)
+		if !ok {
+			continue
+		}
+		live[ino] = &in
+		if in.Size > MaxFileSize {
+			report(ino, "size %d exceeds maximum", in.Size)
+		}
+		blocks := int((in.Size + BlockSize - 1) / BlockSize)
+		for bi := 0; bi < blocks; bi++ {
+			addRef(ino, fs.blockNumAt(&in, bi))
+		}
+		if in.Indirect != 0 {
+			addRef(ino, in.Indirect)
+		}
+	}
+
+	// Pass 2: walk the directory tree from the root; every live inode must
+	// be reachable exactly once (no hard links in this FS).
+	if _, ok := live[RootIno]; !ok {
+		report(RootIno, "root directory missing")
+		return errs
+	}
+	reached := make(map[uint32]bool)
+	var walk func(dir uint32)
+	walk = func(dir uint32) {
+		if reached[dir] {
+			report(dir, "directory reachable twice (cycle or duplicate entry)")
+			return
+		}
+		reached[dir] = true
+		din := live[dir]
+		for _, e := range fs.dirEntries(din) {
+			child, ok := live[e.Ino]
+			if !ok {
+				report(dir, "entry %q points at free inode %d", e.Name, e.Ino)
+				continue
+			}
+			if child.Type == TypeDir {
+				walk(e.Ino)
+			} else {
+				if reached[e.Ino] {
+					report(e.Ino, "file linked from multiple directories")
+				}
+				reached[e.Ino] = true
+			}
+		}
+	}
+	walk(RootIno)
+	for ino := range live {
+		if !reached[ino] {
+			report(ino, "orphaned (unreachable from root)")
+		}
+	}
+
+	// Pass 3: bitmap leaks — allocated blocks nobody references.
+	for b := uint32(1); int(b) < fs.numBlocks; b++ {
+		allocated := fs.r.Bytes()[fs.bitmapBase+int(b)>>3]&(1<<(b&7)) != 0
+		if allocated {
+			if _, ok := refs[b]; !ok {
+				report(0, "block %d allocated but unreferenced (leak)", b)
+			}
+		}
+	}
+
+	// Pass 4: superblock free-count drift.
+	free := int(fs.u64(sbFreeBlocks))
+	expect := fs.numBlocks - 1 - usedBlocks // block 0 reserved
+	if free != expect {
+		report(0, "superblock free count %d, expected %d", free, expect)
+	}
+	return errs
+}
+
+// CorruptDirEntry deliberately damages the first live directory entry of
+// dir — fault injection for fsck tests.
+func (fs *FS) CorruptDirEntry(dir uint32) bool {
+	din, ok := fs.ReadInode(dir)
+	if !ok || din.Type != TypeDir {
+		return false
+	}
+	var rec [DirEntrySize]byte
+	n := din.Size / DirEntrySize
+	for i := uint64(0); i < n; i++ {
+		if fs.ReadAt(&din, i*DirEntrySize, rec[:]) != DirEntrySize {
+			return false
+		}
+		if binary.LittleEndian.Uint32(rec[:]) != 0 {
+			// Point the entry at a bogus inode.
+			binary.LittleEndian.PutUint32(rec[:], uint32(fs.numInodes-1))
+			fs.WriteAt(&din, i*DirEntrySize, rec[:4])
+			return true
+		}
+	}
+	return false
+}

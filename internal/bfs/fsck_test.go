@@ -1,0 +1,86 @@
+package bfs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestFsckCleanOnFreshFS(t *testing.T) {
+	_, svc := newFSClient(t, 256)
+	if errs := svc.FS().Check(); len(errs) != 0 {
+		t.Fatalf("fresh fs has errors: %v", errs)
+	}
+}
+
+func TestFsckCleanAfterWorkload(t *testing.T) {
+	c, svc := newFSClient(t, 512)
+	d, _ := c.Mkdir(RootIno, "d")
+	for i := 0; i < 10; i++ {
+		a, err := c.Create(d.Ino, fmt.Sprintf("f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Write(a.Ino, 0, make([]byte, 100+i*700))
+	}
+	c.Remove(d.Ino, "f3")
+	c.Rename(d.Ino, "f5", RootIno, "top")
+	c.SetSize(2+7, 50) // arbitrary truncate
+	if errs := svc.FS().Check(); len(errs) != 0 {
+		t.Fatalf("fsck after workload: %v", errs)
+	}
+}
+
+func TestFsckCleanAfterRandomOps(t *testing.T) {
+	// Property: no random operation sequence can break the on-disk
+	// invariants (no leaks, no double references, counts consistent).
+	for seed := int64(1); seed <= 4; seed++ {
+		c, svc := newFSClient(t, 1024)
+		rng := rand.New(rand.NewSource(seed))
+		dirs := []uint32{RootIno}
+		names := []string{"a", "b", "c", "d"}
+		for step := 0; step < 300; step++ {
+			dir := dirs[rng.Intn(len(dirs))]
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(6) {
+			case 0:
+				if a, err := c.Mkdir(dir, name); err == nil {
+					dirs = append(dirs, a.Ino)
+				}
+			case 1:
+				c.Create(dir, name)
+			case 2:
+				if a, err := c.Lookup(dir, name); err == nil && a.Type == TypeFile {
+					c.Write(a.Ino, uint64(rng.Intn(4000)), make([]byte, rng.Intn(2000)))
+				}
+			case 3:
+				if a, err := c.Lookup(dir, name); err == nil && a.Type == TypeFile {
+					c.SetSize(a.Ino, uint64(rng.Intn(1000)))
+				}
+			case 4:
+				c.Remove(dir, name)
+			case 5:
+				c.Rename(dir, name, dirs[rng.Intn(len(dirs))], names[rng.Intn(len(names))])
+			}
+		}
+		if errs := svc.FS().Check(); len(errs) != 0 {
+			t.Fatalf("seed %d: fsck: %v", seed, errs)
+		}
+	}
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	c, svc := newFSClient(t, 256)
+	d, _ := c.Mkdir(RootIno, "dir")
+	c.Create(d.Ino, "victim")
+	if errs := svc.FS().Check(); len(errs) != 0 {
+		t.Fatalf("pre-corruption errors: %v", errs)
+	}
+	if !svc.FS().CorruptDirEntry(d.Ino) {
+		t.Fatal("corruption injection failed")
+	}
+	errs := svc.FS().Check()
+	if len(errs) == 0 {
+		t.Fatal("fsck missed a corrupted directory entry")
+	}
+}

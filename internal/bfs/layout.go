@@ -1,0 +1,437 @@
+// Package bfs is BFS, the Byzantine-fault-tolerant file service of Chapter 6:
+// an NFS-like file system whose entire state lives in the library-managed
+// memory region, laid out like a small on-disk file system (superblock,
+// inode table, allocation bitmap, data blocks). Every mutation goes through
+// Region.Modify, so the BFT library's copy-on-write checkpoints and state
+// transfer work over file-system state exactly as they did for the thesis's
+// memory-mapped BFS.
+//
+// File timestamps come from the non-determinism protocol of §5.4: the
+// primary proposes its clock reading with each batch and BFS stamps mtimes
+// with the agreed value.
+package bfs
+
+import (
+	"encoding/binary"
+
+	"repro/internal/statemachine"
+)
+
+// Geometry constants.
+const (
+	// BlockSize is the data block size. It need not match the region's
+	// checkpoint page size.
+	BlockSize = 1024
+
+	// InodeSize is the on-"disk" inode record size.
+	InodeSize = 128
+
+	// NDirect is the number of direct block pointers per inode.
+	NDirect = 12
+
+	// DirEntrySize is the fixed directory entry size: 4-byte inode number,
+	// 1-byte name length, 59-byte name.
+	DirEntrySize = 64
+
+	// MaxNameLen bounds file names.
+	MaxNameLen = 59
+
+	// RootIno is the root directory's inode number.
+	RootIno = 1
+)
+
+// File types stored in Inode.Type.
+const (
+	TypeFree    uint8 = 0
+	TypeFile    uint8 = 1
+	TypeDir     uint8 = 2
+	TypeSymlink uint8 = 3
+)
+
+// Superblock field offsets (all u64, at the start of the region).
+const (
+	sbMagic      = 0
+	sbNumInodes  = 8
+	sbNumBlocks  = 16
+	sbInodeBase  = 24
+	sbBitmapBase = 32
+	sbDataBase   = 40
+	sbFreeBlocks = 48
+	sbGeneration = 56
+	sbSize       = 64
+)
+
+const fsMagic = 0xBF5_F5_2026
+
+// Inode is the in-memory view of an inode record.
+type Inode struct {
+	Ino    uint32
+	Type   uint8
+	Nlink  uint16
+	Size   uint64
+	Mtime  uint64
+	Blocks [NDirect]uint32 // direct data block numbers; 0 = hole
+	// Indirect is a block number holding up to BlockSize/4 further block
+	// pointers; 0 = none.
+	Indirect uint32
+}
+
+// MaxFileSize is the largest representable file.
+const MaxFileSize = (NDirect + BlockSize/4) * BlockSize
+
+// FS is the file-system layer over a region. It is purely mechanical: all
+// policy (operation semantics, permissions) lives in service.go.
+type FS struct {
+	r *statemachine.Region
+
+	numInodes  int
+	numBlocks  int
+	inodeBase  int // byte offset of the inode table
+	bitmapBase int // byte offset of the allocation bitmap
+	dataBase   int // byte offset of block 0
+}
+
+// Format initializes an empty file system in the region and returns the FS.
+// The layout is computed from the region size: ~1 inode per 4 data blocks.
+func Format(r *statemachine.Region) *FS {
+	total := r.Size() - sbSize
+	// Solve for blocks: blocks*BlockSize + blocks/4*InodeSize + blocks/8 <= total
+	perBlock := BlockSize + InodeSize/4 + 1
+	blocks := total / perBlock
+	if blocks < 8 {
+		blocks = 8
+	}
+	inodes := blocks / 4
+	if inodes < 16 {
+		inodes = 16
+	}
+	fs := &FS{
+		r:          r,
+		numInodes:  inodes,
+		numBlocks:  blocks,
+		inodeBase:  sbSize,
+		bitmapBase: sbSize + inodes*InodeSize,
+	}
+	fs.dataBase = fs.bitmapBase + (blocks+7)/8
+	if fs.dataBase+blocks*BlockSize > r.Size() {
+		// Shrink blocks to fit (conservative fixpoint).
+		for fs.dataBase+fs.numBlocks*BlockSize > r.Size() && fs.numBlocks > 0 {
+			fs.numBlocks--
+		}
+	}
+
+	fs.putU64(sbMagic, fsMagic)
+	fs.putU64(sbNumInodes, uint64(fs.numInodes))
+	fs.putU64(sbNumBlocks, uint64(fs.numBlocks))
+	fs.putU64(sbInodeBase, uint64(fs.inodeBase))
+	fs.putU64(sbBitmapBase, uint64(fs.bitmapBase))
+	fs.putU64(sbDataBase, uint64(fs.dataBase))
+	// Block 0 is reserved as the "hole" marker and never allocated.
+	fs.putU64(sbFreeBlocks, uint64(fs.numBlocks-1))
+	fs.putU64(sbGeneration, 1)
+
+	// Root directory.
+	root := Inode{Ino: RootIno, Type: TypeDir, Nlink: 2}
+	fs.writeInode(&root)
+	return fs
+}
+
+// Open attaches to an already-formatted region (e.g. after state transfer).
+func Open(r *statemachine.Region) *FS {
+	fs := &FS{r: r}
+	if fs.u64(sbMagic) != fsMagic {
+		return Format(r)
+	}
+	fs.numInodes = int(fs.u64(sbNumInodes))
+	fs.numBlocks = int(fs.u64(sbNumBlocks))
+	fs.inodeBase = int(fs.u64(sbInodeBase))
+	fs.bitmapBase = int(fs.u64(sbBitmapBase))
+	fs.dataBase = int(fs.u64(sbDataBase))
+	return fs
+}
+
+// MinRegionSize returns a region size fitting roughly the given number of
+// data blocks.
+func MinRegionSize(blocks int) int {
+	return sbSize + blocks/4*InodeSize + (blocks+7)/8 + blocks*BlockSize + BlockSize
+}
+
+func (fs *FS) u64(off int) uint64 {
+	return binary.LittleEndian.Uint64(fs.r.Bytes()[off:])
+}
+
+func (fs *FS) putU64(off int, v uint64) {
+	fs.r.Modify(off, 8)
+	binary.LittleEndian.PutUint64(fs.r.Bytes()[off:], v)
+}
+
+// FreeBlocks returns the free data block count.
+func (fs *FS) FreeBlocks() int { return int(fs.u64(sbFreeBlocks)) }
+
+// NumBlocks returns the total data block count.
+func (fs *FS) NumBlocks() int { return fs.numBlocks }
+
+// NumInodes returns the inode table size.
+func (fs *FS) NumInodes() int { return fs.numInodes }
+
+// --- Inode table ---
+
+func (fs *FS) inodeOff(ino uint32) int {
+	return fs.inodeBase + int(ino)*InodeSize
+}
+
+// ValidIno reports whether ino indexes the inode table (0 is reserved).
+func (fs *FS) ValidIno(ino uint32) bool {
+	return ino >= 1 && int(ino) < fs.numInodes
+}
+
+// ReadInode loads an inode record.
+func (fs *FS) ReadInode(ino uint32) (Inode, bool) {
+	if !fs.ValidIno(ino) {
+		return Inode{}, false
+	}
+	b := fs.r.Bytes()[fs.inodeOff(ino):]
+	in := Inode{
+		Ino:   ino,
+		Type:  b[0],
+		Nlink: binary.LittleEndian.Uint16(b[2:]),
+		Size:  binary.LittleEndian.Uint64(b[8:]),
+		Mtime: binary.LittleEndian.Uint64(b[16:]),
+	}
+	for i := 0; i < NDirect; i++ {
+		in.Blocks[i] = binary.LittleEndian.Uint32(b[24+4*i:])
+	}
+	in.Indirect = binary.LittleEndian.Uint32(b[24+4*NDirect:])
+	return in, in.Type != TypeFree
+}
+
+func (fs *FS) writeInode(in *Inode) {
+	off := fs.inodeOff(in.Ino)
+	fs.r.Modify(off, InodeSize)
+	b := fs.r.Bytes()[off:]
+	b[0] = in.Type
+	binary.LittleEndian.PutUint16(b[2:], in.Nlink)
+	binary.LittleEndian.PutUint64(b[8:], in.Size)
+	binary.LittleEndian.PutUint64(b[16:], in.Mtime)
+	for i := 0; i < NDirect; i++ {
+		binary.LittleEndian.PutUint32(b[24+4*i:], in.Blocks[i])
+	}
+	binary.LittleEndian.PutUint32(b[24+4*NDirect:], in.Indirect)
+}
+
+// allocInode finds a free inode and types it.
+func (fs *FS) allocInode(typ uint8) (uint32, bool) {
+	for ino := uint32(1); int(ino) < fs.numInodes; ino++ {
+		b := fs.r.Bytes()[fs.inodeOff(ino):]
+		if b[0] == TypeFree {
+			in := Inode{Ino: ino, Type: typ, Nlink: 1}
+			fs.writeInode(&in)
+			return ino, true
+		}
+	}
+	return 0, false
+}
+
+// freeInode releases an inode and all its blocks.
+func (fs *FS) freeInode(in *Inode) {
+	fs.truncate(in, 0)
+	in.Type = TypeFree
+	in.Nlink = 0
+	fs.writeInode(in)
+}
+
+// --- Block allocation ---
+
+// allocBlock returns a free data block number (1-based; 0 means failure).
+func (fs *FS) allocBlock() uint32 {
+	bm := fs.r.Bytes()[fs.bitmapBase:fs.dataBase]
+	for i := 1; i < fs.numBlocks; i++ { // block 0 reserved as "hole"
+		if bm[i>>3]&(1<<(i&7)) == 0 {
+			fs.r.Modify(fs.bitmapBase+i>>3, 1)
+			fs.r.Bytes()[fs.bitmapBase+i>>3] |= 1 << (i & 7)
+			fs.putU64(sbFreeBlocks, fs.u64(sbFreeBlocks)-1)
+			// Zero the block: deterministic content.
+			off := fs.dataBase + i*BlockSize
+			fs.r.Modify(off, BlockSize)
+			clear(fs.r.Bytes()[off : off+BlockSize])
+			return uint32(i)
+		}
+	}
+	return 0
+}
+
+func (fs *FS) freeBlock(b uint32) {
+	if b == 0 || int(b) >= fs.numBlocks {
+		return
+	}
+	i := int(b)
+	fs.r.Modify(fs.bitmapBase+i>>3, 1)
+	fs.r.Bytes()[fs.bitmapBase+i>>3] &^= 1 << (i & 7)
+	fs.putU64(sbFreeBlocks, fs.u64(sbFreeBlocks)+1)
+}
+
+// block returns the byte offset of data block b.
+func (fs *FS) block(b uint32) int { return fs.dataBase + int(b)*BlockSize }
+
+// --- Indirect block helpers ---
+
+// blockNumAt returns the data block number for file block index bi (without
+// allocating).
+func (fs *FS) blockNumAt(in *Inode, bi int) uint32 {
+	if bi < NDirect {
+		return in.Blocks[bi]
+	}
+	if in.Indirect == 0 {
+		return 0
+	}
+	idx := bi - NDirect
+	if idx >= BlockSize/4 {
+		return 0
+	}
+	off := fs.block(in.Indirect) + idx*4
+	return binary.LittleEndian.Uint32(fs.r.Bytes()[off:])
+}
+
+// ensureBlockAt returns the data block for file block bi, allocating it (and
+// the indirect block) if needed. Returns 0 when out of space or range.
+func (fs *FS) ensureBlockAt(in *Inode, bi int) uint32 {
+	if bi < NDirect {
+		if in.Blocks[bi] == 0 {
+			b := fs.allocBlock()
+			if b == 0 {
+				return 0
+			}
+			in.Blocks[bi] = b
+			fs.writeInode(in)
+		}
+		return in.Blocks[bi]
+	}
+	idx := bi - NDirect
+	if idx >= BlockSize/4 {
+		return 0
+	}
+	if in.Indirect == 0 {
+		b := fs.allocBlock()
+		if b == 0 {
+			return 0
+		}
+		in.Indirect = b
+		fs.writeInode(in)
+	}
+	off := fs.block(in.Indirect) + idx*4
+	bn := binary.LittleEndian.Uint32(fs.r.Bytes()[off:])
+	if bn == 0 {
+		b := fs.allocBlock()
+		if b == 0 {
+			return 0
+		}
+		fs.r.Modify(off, 4)
+		binary.LittleEndian.PutUint32(fs.r.Bytes()[off:], b)
+		bn = b
+	}
+	return bn
+}
+
+// truncate shrinks (or zero-extends) a file to size bytes, freeing blocks
+// beyond the new end.
+func (fs *FS) truncate(in *Inode, size uint64) {
+	if size > MaxFileSize {
+		size = MaxFileSize
+	}
+	oldBlocks := int((in.Size + BlockSize - 1) / BlockSize)
+	newBlocks := int((size + BlockSize - 1) / BlockSize)
+	for bi := newBlocks; bi < oldBlocks; bi++ {
+		bn := fs.blockNumAt(in, bi)
+		if bn != 0 {
+			fs.freeBlock(bn)
+			if bi < NDirect {
+				in.Blocks[bi] = 0
+			} else if in.Indirect != 0 {
+				off := fs.block(in.Indirect) + (bi-NDirect)*4
+				fs.r.Modify(off, 4)
+				binary.LittleEndian.PutUint32(fs.r.Bytes()[off:], 0)
+			}
+		}
+	}
+	if newBlocks <= NDirect && in.Indirect != 0 {
+		fs.freeBlock(in.Indirect)
+		in.Indirect = 0
+	}
+	// Zero the tail of the last block when shrinking within a block, so
+	// deterministic reads past EOF extensions see zeros.
+	if size < in.Size && size%BlockSize != 0 {
+		bn := fs.blockNumAt(in, int(size/BlockSize))
+		if bn != 0 {
+			off := fs.block(bn) + int(size%BlockSize)
+			n := BlockSize - int(size%BlockSize)
+			fs.r.Modify(off, n)
+			clear(fs.r.Bytes()[off : off+n])
+		}
+	}
+	in.Size = size
+	fs.writeInode(in)
+}
+
+// ReadAt reads up to len(p) bytes at off from the file, returning the count
+// (short reads at EOF).
+func (fs *FS) ReadAt(in *Inode, off uint64, p []byte) int {
+	if off >= in.Size {
+		return 0
+	}
+	if off+uint64(len(p)) > in.Size {
+		p = p[:in.Size-off]
+	}
+	n := 0
+	for n < len(p) {
+		bi := int((off + uint64(n)) / BlockSize)
+		bo := int((off + uint64(n)) % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		bn := fs.blockNumAt(in, bi)
+		if bn == 0 {
+			// Hole: zeros.
+			clear(p[n : n+chunk])
+		} else {
+			copy(p[n:n+chunk], fs.r.Bytes()[fs.block(bn)+bo:])
+		}
+		n += chunk
+	}
+	return n
+}
+
+// WriteAt writes p at off, extending the file as needed. It returns the
+// bytes written (may be short when space runs out) and whether space ran
+// out.
+func (fs *FS) WriteAt(in *Inode, off uint64, p []byte) (int, bool) {
+	if off+uint64(len(p)) > MaxFileSize {
+		if off >= MaxFileSize {
+			return 0, true
+		}
+		p = p[:MaxFileSize-off]
+	}
+	n := 0
+	for n < len(p) {
+		bi := int((off + uint64(n)) / BlockSize)
+		bo := int((off + uint64(n)) % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(p)-n {
+			chunk = len(p) - n
+		}
+		bn := fs.ensureBlockAt(in, bi)
+		if bn == 0 {
+			break // out of space
+		}
+		dst := fs.block(bn) + bo
+		fs.r.Modify(dst, chunk)
+		copy(fs.r.Bytes()[dst:], p[n:n+chunk])
+		n += chunk
+	}
+	end := off + uint64(n)
+	if end > in.Size {
+		in.Size = end
+		fs.writeInode(in)
+	}
+	return n, n < len(p)
+}

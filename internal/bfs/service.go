@@ -1,0 +1,527 @@
+package bfs
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/statemachine"
+)
+
+// Status is the NFS-style result status of a BFS operation.
+type Status uint8
+
+// Operation statuses.
+const (
+	OK Status = iota
+	ErrNoEnt
+	ErrExist
+	ErrNotDir
+	ErrIsDir
+	ErrNoSpc
+	ErrNotEmpty
+	ErrInval
+	ErrStale
+	ErrTooBig
+)
+
+var statusNames = [...]string{
+	OK: "OK", ErrNoEnt: "no such entry", ErrExist: "already exists",
+	ErrNotDir: "not a directory", ErrIsDir: "is a directory",
+	ErrNoSpc: "no space", ErrNotEmpty: "directory not empty",
+	ErrInval: "invalid argument", ErrStale: "stale handle",
+	ErrTooBig: "file too big",
+}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return "unknown error"
+}
+
+// Error turns a non-OK status into an error.
+func (s Status) Error() string { return "bfs: " + s.String() }
+
+// Operation opcodes.
+const (
+	opLookup byte = iota + 1
+	opGetAttr
+	opSetSize
+	opCreate
+	opMkdir
+	opRemove
+	opRmdir
+	opRead
+	opWrite
+	opReaddir
+	opRename
+	opSymlink
+	opReadlink
+	opStatFS
+)
+
+// Attr is the attribute record returned by most operations.
+type Attr struct {
+	Ino   uint32
+	Type  uint8
+	Nlink uint16
+	Size  uint64
+	Mtime uint64
+}
+
+const attrSize = 4 + 1 + 2 + 8 + 8
+
+func putAttr(b []byte, a Attr) {
+	binary.LittleEndian.PutUint32(b[0:], a.Ino)
+	b[4] = a.Type
+	binary.LittleEndian.PutUint16(b[5:], a.Nlink)
+	binary.LittleEndian.PutUint64(b[7:], a.Size)
+	binary.LittleEndian.PutUint64(b[15:], a.Mtime)
+}
+
+func getAttr(b []byte) Attr {
+	return Attr{
+		Ino:   binary.LittleEndian.Uint32(b[0:]),
+		Type:  b[4],
+		Nlink: binary.LittleEndian.Uint16(b[5:]),
+		Size:  binary.LittleEndian.Uint64(b[7:]),
+		Mtime: binary.LittleEndian.Uint64(b[15:]),
+	}
+}
+
+func attrOf(in *Inode) Attr {
+	return Attr{Ino: in.Ino, Type: in.Type, Nlink: in.Nlink, Size: in.Size, Mtime: in.Mtime}
+}
+
+// Service adapts the FS to the replicated state machine interface. One
+// instance lives inside each replica.
+type Service struct {
+	fs *FS
+
+	// Clock feeds the §5.4 timestamp agreement (overridable in tests).
+	Clock func() int64
+	// Tolerance bounds accepted primary clock skew.
+	Tolerance time.Duration
+}
+
+// NewService formats (or opens) the region and returns the service.
+func NewService(r *statemachine.Region) *Service {
+	return &Service{
+		fs:        Open(r),
+		Clock:     func() int64 { return time.Now().UnixNano() },
+		Tolerance: time.Minute,
+	}
+}
+
+// Factory adapts NewService to the replica constructor signature.
+func Factory(r *statemachine.Region) statemachine.Service { return NewService(r) }
+
+// FS exposes the underlying file system (tests and tools).
+func (s *Service) FS() *FS { return s.fs }
+
+// ProposeNonDet implements statemachine.Service: the primary proposes the
+// mtime for the batch.
+func (s *Service) ProposeNonDet() []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(s.Clock()))
+	return b[:]
+}
+
+// CheckNonDet implements statemachine.Service.
+func (s *Service) CheckNonDet(nondet []byte) bool {
+	if len(nondet) != 8 {
+		return false
+	}
+	prop := int64(binary.LittleEndian.Uint64(nondet))
+	diff := s.Clock() - prop
+	if diff < 0 {
+		diff = -diff
+	}
+	return time.Duration(diff) <= s.Tolerance
+}
+
+// IsReadOnly implements statemachine.Service.
+func (s *Service) IsReadOnly(op []byte) bool {
+	if len(op) == 0 {
+		return false
+	}
+	switch op[0] {
+	case opLookup, opGetAttr, opRead, opReaddir, opReadlink, opStatFS:
+		return true
+	}
+	return false
+}
+
+// Execute implements statemachine.Service. Results are status-prefixed;
+// the transition function is total.
+func (s *Service) Execute(client message.NodeID, op []byte, nondet []byte) []byte {
+	if len(op) == 0 {
+		return fail(ErrInval)
+	}
+	var mtime uint64
+	if len(nondet) == 8 {
+		mtime = binary.LittleEndian.Uint64(nondet)
+	}
+	d := opDecoder{b: op[1:]}
+	switch op[0] {
+	case opLookup:
+		dir, name := d.u32(), d.str()
+		return s.lookup(dir, name)
+	case opGetAttr:
+		return s.getattr(d.u32())
+	case opSetSize:
+		ino, size := d.u32(), d.u64()
+		return s.setsize(ino, size, mtime)
+	case opCreate:
+		dir, name := d.u32(), d.str()
+		return s.create(dir, name, TypeFile, nil, mtime)
+	case opMkdir:
+		dir, name := d.u32(), d.str()
+		return s.create(dir, name, TypeDir, nil, mtime)
+	case opSymlink:
+		dir, name, target := d.u32(), d.str(), d.rest()
+		return s.create(dir, name, TypeSymlink, target, mtime)
+	case opRemove:
+		dir, name := d.u32(), d.str()
+		return s.remove(dir, name, false, mtime)
+	case opRmdir:
+		dir, name := d.u32(), d.str()
+		return s.remove(dir, name, true, mtime)
+	case opRead:
+		ino, off, count := d.u32(), d.u64(), d.u32()
+		return s.read(ino, off, count)
+	case opWrite:
+		ino, off, data := d.u32(), d.u64(), d.rest()
+		return s.write(ino, off, data, mtime)
+	case opReaddir:
+		return s.readdir(d.u32())
+	case opRename:
+		sdir, sname, ddir, dname := d.u32(), d.str(), d.u32(), d.str()
+		return s.rename(sdir, sname, ddir, dname, mtime)
+	case opReadlink:
+		return s.readlink(d.u32())
+	case opStatFS:
+		return s.statfs()
+	}
+	return fail(ErrInval)
+}
+
+func fail(st Status) []byte { return []byte{byte(st)} }
+
+func okAttr(in *Inode) []byte {
+	out := make([]byte, 1+attrSize)
+	out[0] = byte(OK)
+	putAttr(out[1:], attrOf(in))
+	return out
+}
+
+func (s *Service) dirInode(dir uint32) (*Inode, Status) {
+	in, ok := s.fs.ReadInode(dir)
+	if !ok {
+		return nil, ErrStale
+	}
+	if in.Type != TypeDir {
+		return nil, ErrNotDir
+	}
+	return &in, OK
+}
+
+func (s *Service) lookup(dir uint32, name string) []byte {
+	din, st := s.dirInode(dir)
+	if st != OK {
+		return fail(st)
+	}
+	ino, _, found := s.fs.lookupDir(din, name)
+	if !found {
+		return fail(ErrNoEnt)
+	}
+	in, ok := s.fs.ReadInode(ino)
+	if !ok {
+		return fail(ErrStale)
+	}
+	return okAttr(&in)
+}
+
+func (s *Service) getattr(ino uint32) []byte {
+	in, ok := s.fs.ReadInode(ino)
+	if !ok {
+		return fail(ErrStale)
+	}
+	return okAttr(&in)
+}
+
+func (s *Service) setsize(ino uint32, size uint64, mtime uint64) []byte {
+	in, ok := s.fs.ReadInode(ino)
+	if !ok {
+		return fail(ErrStale)
+	}
+	if in.Type != TypeFile {
+		return fail(ErrIsDir)
+	}
+	if size > MaxFileSize {
+		return fail(ErrTooBig)
+	}
+	if size > in.Size {
+		in.Size = size // sparse extension: holes read as zeros
+	} else {
+		s.fs.truncate(&in, size)
+	}
+	in.Mtime = mtime
+	s.fs.writeInode(&in)
+	return okAttr(&in)
+}
+
+func (s *Service) create(dir uint32, name string, typ uint8, target []byte, mtime uint64) []byte {
+	if name == "" || len(name) > MaxNameLen || name == "." || name == ".." {
+		return fail(ErrInval)
+	}
+	din, st := s.dirInode(dir)
+	if st != OK {
+		return fail(st)
+	}
+	if _, _, found := s.fs.lookupDir(din, name); found {
+		return fail(ErrExist)
+	}
+	ino, ok := s.fs.allocInode(typ)
+	if !ok {
+		return fail(ErrNoSpc)
+	}
+	in, _ := s.fs.ReadInode(ino)
+	in.Mtime = mtime
+	if typ == TypeDir {
+		in.Nlink = 2
+	}
+	s.fs.writeInode(&in)
+	if typ == TypeSymlink && len(target) > 0 {
+		if _, short := s.fs.WriteAt(&in, 0, target); short {
+			s.fs.freeInode(&in)
+			return fail(ErrNoSpc)
+		}
+	}
+	if !s.fs.addDirEntry(din, name, ino) {
+		s.fs.freeInode(&in)
+		return fail(ErrNoSpc)
+	}
+	din.Mtime = mtime
+	if typ == TypeDir {
+		din.Nlink++
+	}
+	s.fs.writeInode(din)
+	return okAttr(&in)
+}
+
+func (s *Service) remove(dir uint32, name string, wantDir bool, mtime uint64) []byte {
+	din, st := s.dirInode(dir)
+	if st != OK {
+		return fail(st)
+	}
+	ino, off, found := s.fs.lookupDir(din, name)
+	if !found {
+		return fail(ErrNoEnt)
+	}
+	in, ok := s.fs.ReadInode(ino)
+	if !ok {
+		return fail(ErrStale)
+	}
+	if wantDir {
+		if in.Type != TypeDir {
+			return fail(ErrNotDir)
+		}
+		if !s.fs.dirEmpty(&in) {
+			return fail(ErrNotEmpty)
+		}
+	} else if in.Type == TypeDir {
+		return fail(ErrIsDir)
+	}
+	s.fs.removeDirEntry(din, off)
+	din.Mtime = mtime
+	if in.Type == TypeDir {
+		din.Nlink--
+	}
+	s.fs.writeInode(din)
+	s.fs.freeInode(&in)
+	return fail(OK)
+}
+
+func (s *Service) read(ino uint32, off uint64, count uint32) []byte {
+	in, ok := s.fs.ReadInode(ino)
+	if !ok {
+		return fail(ErrStale)
+	}
+	if in.Type == TypeDir {
+		return fail(ErrIsDir)
+	}
+	if count > MaxFileSize {
+		count = MaxFileSize
+	}
+	buf := make([]byte, 1+count)
+	buf[0] = byte(OK)
+	n := s.fs.ReadAt(&in, off, buf[1:])
+	return buf[:1+n]
+}
+
+func (s *Service) write(ino uint32, off uint64, data []byte, mtime uint64) []byte {
+	in, ok := s.fs.ReadInode(ino)
+	if !ok {
+		return fail(ErrStale)
+	}
+	if in.Type != TypeFile {
+		return fail(ErrIsDir)
+	}
+	n, short := s.fs.WriteAt(&in, off, data)
+	in, _ = s.fs.ReadInode(ino) // reload: WriteAt may have updated size
+	in.Mtime = mtime
+	s.fs.writeInode(&in)
+	if short && n == 0 {
+		return fail(ErrNoSpc)
+	}
+	out := make([]byte, 1+4)
+	out[0] = byte(OK)
+	binary.LittleEndian.PutUint32(out[1:], uint32(n))
+	return out
+}
+
+func (s *Service) readdir(dir uint32) []byte {
+	din, st := s.dirInode(dir)
+	if st != OK {
+		return fail(st)
+	}
+	entries := s.fs.dirEntries(din)
+	out := []byte{byte(OK)}
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(entries)))
+	out = append(out, n4[:]...)
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(n4[:], e.Ino)
+		out = append(out, n4[:]...)
+		out = append(out, byte(len(e.Name)))
+		out = append(out, e.Name...)
+	}
+	return out
+}
+
+func (s *Service) rename(sdir uint32, sname string, ddir uint32, dname string, mtime uint64) []byte {
+	if dname == "" || len(dname) > MaxNameLen {
+		return fail(ErrInval)
+	}
+	sin, st := s.dirInode(sdir)
+	if st != OK {
+		return fail(st)
+	}
+	ino, soff, found := s.fs.lookupDir(sin, sname)
+	if !found {
+		return fail(ErrNoEnt)
+	}
+	din, st := s.dirInode(ddir)
+	if st != OK {
+		return fail(st)
+	}
+	// Moving a directory into its own subtree would disconnect a cycle
+	// from the root (POSIX EINVAL).
+	if mv, ok := s.fs.ReadInode(ino); ok && mv.Type == TypeDir {
+		if ino == ddir || s.fs.isDescendant(ino, ddir) {
+			return fail(ErrInval)
+		}
+	}
+	// Replace semantics: an existing non-directory target is removed.
+	if tIno, tOff, exists := s.fs.lookupDir(din, dname); exists {
+		if tIno == ino {
+			return fail(OK) // rename onto itself
+		}
+		tin, ok := s.fs.ReadInode(tIno)
+		if !ok || tin.Type == TypeDir {
+			return fail(ErrIsDir)
+		}
+		s.fs.removeDirEntry(din, tOff)
+		s.fs.freeInode(&tin)
+		din, _ = s.dirInode(ddir)
+	}
+	if !s.fs.addDirEntry(din, dname, ino) {
+		return fail(ErrNoSpc)
+	}
+	// Re-read the source dir: it may be the same inode as din.
+	sin, _ = s.dirInode(sdir)
+	_, soff, found = s.fs.lookupDir(sin, sname)
+	if found {
+		s.fs.removeDirEntry(sin, soff)
+	}
+	sin.Mtime = mtime
+	s.fs.writeInode(sin)
+	if ddir != sdir {
+		din, _ = s.dirInode(ddir)
+		din.Mtime = mtime
+		s.fs.writeInode(din)
+	}
+	return fail(OK)
+}
+
+func (s *Service) readlink(ino uint32) []byte {
+	in, ok := s.fs.ReadInode(ino)
+	if !ok {
+		return fail(ErrStale)
+	}
+	if in.Type != TypeSymlink {
+		return fail(ErrInval)
+	}
+	buf := make([]byte, 1+in.Size)
+	buf[0] = byte(OK)
+	n := s.fs.ReadAt(&in, 0, buf[1:])
+	return buf[:1+n]
+}
+
+func (s *Service) statfs() []byte {
+	out := make([]byte, 1+16)
+	out[0] = byte(OK)
+	// Usable blocks exclude the reserved hole marker (block 0).
+	binary.LittleEndian.PutUint64(out[1:], uint64(s.fs.NumBlocks()-1))
+	binary.LittleEndian.PutUint64(out[9:], uint64(s.fs.FreeBlocks()))
+	return out
+}
+
+// opDecoder reads operation arguments; it is forgiving (zero values on
+// truncation) because the transition function must be total.
+type opDecoder struct {
+	b   []byte
+	off int
+}
+
+func (d *opDecoder) u32() uint32 {
+	if d.off+4 > len(d.b) {
+		d.off = len(d.b)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *opDecoder) u64() uint64 {
+	if d.off+8 > len(d.b) {
+		d.off = len(d.b)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *opDecoder) str() string {
+	if d.off >= len(d.b) {
+		return ""
+	}
+	n := int(d.b[d.off])
+	d.off++
+	if d.off+n > len(d.b) {
+		n = len(d.b) - d.off
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *opDecoder) rest() []byte {
+	out := d.b[d.off:]
+	d.off = len(d.b)
+	return out
+}

@@ -1,0 +1,76 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/statemachine"
+)
+
+// BenchmarkTakeSparse measures checkpoint creation with 1% of pages dirty —
+// the common case Table 8.12 optimizes for.
+func BenchmarkTakeSparse(b *testing.B) {
+	const pages = 4096
+	r := statemachine.NewRegion(pages*4096, 4096)
+	m := NewManager(r, 16)
+	seq := message.Seq(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < pages/100; p++ {
+			r.WriteAt(p*4096, []byte{byte(i)})
+		}
+		seq += 128
+		m.Take(seq, nil)
+		m.DiscardBefore(seq)
+	}
+}
+
+// BenchmarkTakeDense measures checkpoint creation with every page dirty.
+func BenchmarkTakeDense(b *testing.B) {
+	const pages = 256
+	r := statemachine.NewRegion(pages*4096, 4096)
+	m := NewManager(r, 16)
+	seq := message.Seq(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < pages; p++ {
+			r.WriteAt(p*4096, []byte{byte(i)})
+		}
+		seq += 128
+		m.Take(seq, nil)
+		m.DiscardBefore(seq)
+	}
+}
+
+// BenchmarkPageAt measures snapshot reads through the copy-on-write chain.
+func BenchmarkPageAt(b *testing.B) {
+	r := statemachine.NewRegion(256*4096, 4096)
+	m := NewManager(r, 16)
+	for ck := 1; ck <= 4; ck++ {
+		r.WriteAt(ck*4096, []byte{byte(ck)})
+		m.Take(message.Seq(ck*128), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := m.PageAt(128, i%256); !ok {
+			b.Fatal("read failed")
+		}
+	}
+}
+
+// BenchmarkRevertTo measures the tentative-execution rollback path.
+func BenchmarkRevertTo(b *testing.B) {
+	const pages = 256
+	r := statemachine.NewRegion(pages*4096, 4096)
+	m := NewManager(r, 16)
+	m.Take(128, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < 16; p++ {
+			r.WriteAt(p*4096, []byte{byte(i)})
+		}
+		if _, ok := m.RevertTo(128); !ok {
+			b.Fatal("revert failed")
+		}
+	}
+}

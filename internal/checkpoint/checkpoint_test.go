@@ -1,0 +1,329 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/message"
+	"repro/internal/statemachine"
+)
+
+func newMgr(t testing.TB, pages, pageSize, fanout int) (*statemachine.Region, *Manager) {
+	t.Helper()
+	r := statemachine.NewRegion(pages*pageSize, pageSize)
+	m := NewManager(r, fanout)
+	return r, m
+}
+
+func TestTreeGeometry(t *testing.T) {
+	_, m := newMgr(t, 256, 64, 16)
+	if m.Levels() != 3 { // 256 leaves, 16 mid, 1 root
+		t.Fatalf("levels = %d, want 3", m.Levels())
+	}
+	if m.Width(0) != 1 || m.Width(1) != 16 || m.Width(2) != 256 {
+		t.Fatalf("widths = %d %d %d", m.Width(0), m.Width(1), m.Width(2))
+	}
+	if m.Width(5) != 0 {
+		t.Fatal("out-of-range level has nonzero width")
+	}
+}
+
+func TestTreeGeometryNonPowerOfFanout(t *testing.T) {
+	_, m := newMgr(t, 10, 64, 4) // 10 -> 3 -> 1
+	if m.Levels() != 3 || m.Width(1) != 3 || m.Width(2) != 10 {
+		t.Fatalf("levels=%d w1=%d w2=%d", m.Levels(), m.Width(1), m.Width(2))
+	}
+	if err := m.VerifyTree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinglePageTree(t *testing.T) {
+	r, m := newMgr(t, 1, 64, 4)
+	if m.Levels() != 1 {
+		t.Fatalf("levels = %d, want 1", m.Levels())
+	}
+	d0 := m.RootDigest()
+	r.WriteAt(0, []byte("x"))
+	m.Take(128, nil)
+	if m.RootDigest() == d0 {
+		t.Fatal("root unchanged after write")
+	}
+}
+
+func TestRootChangesOnlyWhenStateChanges(t *testing.T) {
+	r, m := newMgr(t, 64, 64, 8)
+	d0 := m.RootDigest()
+	m.Take(128, nil)
+	if m.RootDigest() != d0 {
+		t.Fatal("root changed with no writes")
+	}
+	r.WriteAt(100, []byte{42})
+	m.Take(256, nil)
+	if m.RootDigest() == d0 {
+		t.Fatal("root did not change after a write")
+	}
+	if err := m.VerifyTree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdenticalStatesIdenticalDigests(t *testing.T) {
+	// Two replicas applying the same writes at the same checkpoints must
+	// produce identical root digests — the agreement the checkpoint
+	// protocol depends on.
+	r1, m1 := newMgr(t, 32, 64, 4)
+	r2, m2 := newMgr(t, 32, 64, 4)
+	rng := rand.New(rand.NewSource(3))
+	for ck := 1; ck <= 5; ck++ {
+		for i := 0; i < 20; i++ {
+			off := rng.Intn(32*64 - 8)
+			var b [8]byte
+			rng.Read(b[:])
+			r1.WriteAt(off, b[:])
+			r2.WriteAt(off, b[:])
+		}
+		s1 := m1.Take(message.Seq(ck*128), nil)
+		s2 := m2.Take(message.Seq(ck*128), nil)
+		if s1.Root != s2.Root {
+			t.Fatalf("checkpoint %d: roots differ", ck)
+		}
+	}
+}
+
+func TestDivergentStatesDivergentDigests(t *testing.T) {
+	r1, m1 := newMgr(t, 32, 64, 4)
+	r2, m2 := newMgr(t, 32, 64, 4)
+	r1.WriteAt(0, []byte{1})
+	r2.WriteAt(0, []byte{2})
+	if m1.Take(128, nil).Root == m2.Take(128, nil).Root {
+		t.Fatal("different states produced equal roots")
+	}
+}
+
+func TestCopyOnWritePreservesSnapshotReads(t *testing.T) {
+	r, m := newMgr(t, 8, 64, 4)
+	r.WriteAt(0, []byte("first"))
+	m.Take(128, nil)
+
+	r.WriteAt(0, []byte("SECOND"))
+	// Read page 0 at checkpoint 128: must show "first".
+	page, _, ok := m.PageAt(128, 0)
+	if !ok {
+		t.Fatal("PageAt failed")
+	}
+	if string(page[:5]) != "first" {
+		t.Fatalf("snapshot read got %q", page[:6])
+	}
+	// Live region shows the new value.
+	if string(r.ReadAt(0, 6)) != "SECOND" {
+		t.Fatal("live read wrong")
+	}
+	m.Take(256, nil)
+	// Still readable at 128 through the chain.
+	page, _, _ = m.PageAt(128, 0)
+	if string(page[:5]) != "first" {
+		t.Fatal("older snapshot read broken after second checkpoint")
+	}
+	p256, _, _ := m.PageAt(256, 0)
+	if string(p256[:6]) != "SECOND" {
+		t.Fatal("newer snapshot read broken")
+	}
+}
+
+func TestSnapshotChainAcrossUnmodifiedEpochs(t *testing.T) {
+	r, m := newMgr(t, 8, 64, 4)
+	r.WriteAt(64, []byte("A"))
+	m.Take(128, nil) // page 1 = A
+	m.Take(256, nil) // no writes
+	r.WriteAt(64, []byte("B"))
+	m.Take(384, nil)
+	// Page 1 at 128 and 256 must both read "A".
+	for _, seq := range []message.Seq{128, 256} {
+		p, _, ok := m.PageAt(seq, 1)
+		if !ok || p[0] != 'A' {
+			t.Fatalf("page at %d = %c, want A", seq, p[0])
+		}
+	}
+	p, _, _ := m.PageAt(384, 1)
+	if p[0] != 'B' {
+		t.Fatal("latest snapshot wrong")
+	}
+}
+
+func TestDiscardBefore(t *testing.T) {
+	r, m := newMgr(t, 8, 64, 4)
+	for ck := 1; ck <= 4; ck++ {
+		r.WriteAt(0, []byte{byte(ck)})
+		m.Take(message.Seq(ck*128), nil)
+	}
+	if m.SnapCount() != 5 { // includes initial 0
+		t.Fatalf("snap count %d", m.SnapCount())
+	}
+	m.DiscardBefore(256)
+	if m.SnapCount() != 3 {
+		t.Fatalf("after discard %d, want 3", m.SnapCount())
+	}
+	if _, ok := m.Snapshot(128); ok {
+		t.Fatal("discarded snapshot still present")
+	}
+	if _, ok := m.Snapshot(256); !ok {
+		t.Fatal("kept snapshot missing")
+	}
+	p, _, ok := m.PageAt(256, 0)
+	if !ok || p[0] != 2 {
+		t.Fatalf("read after discard got %d", p[0])
+	}
+}
+
+func TestChildrenAtMatchesNodeDigests(t *testing.T) {
+	r, m := newMgr(t, 64, 64, 8)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		r.WriteAt(rng.Intn(64*64-4), []byte{byte(i)})
+	}
+	m.Take(128, nil)
+	// Verify every interior node's children list matches NodeAt.
+	for l := 0; l < m.Levels()-1; l++ {
+		for i := 0; i < m.Width(l); i++ {
+			kids, ok := m.ChildrenAt(128, l, i)
+			if !ok {
+				t.Fatalf("ChildrenAt(%d,%d) failed", l, i)
+			}
+			for _, k := range kids {
+				info, ok := m.NodeAt(128, l+1, int(k.Index))
+				if !ok || info.Digest != k.Digest || info.LastMod != k.LastMod {
+					t.Fatalf("child info mismatch at level %d index %d", l+1, k.Index)
+				}
+			}
+		}
+	}
+}
+
+func TestInstallPageRebuildsDigests(t *testing.T) {
+	// Replica A takes a checkpoint; replica B installs A's pages and must
+	// arrive at the same root digest.
+	rA, mA := newMgr(t, 16, 64, 4)
+	_, mB := newMgr(t, 16, 64, 4)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		rA.WriteAt(rng.Intn(16*64-8), []byte{byte(rng.Int())})
+	}
+	snapA := mA.Take(128, nil)
+
+	for p := 0; p < 16; p++ {
+		content, lm, ok := mA.PageAt(128, p)
+		if !ok {
+			t.Fatal("source read failed")
+		}
+		infoB, _ := mB.NodeAt(0, mB.Levels()-1, p)
+		srcInfo, _ := mA.NodeAt(128, mA.Levels()-1, p)
+		if infoB.Digest == srcInfo.Digest {
+			continue // already up to date
+		}
+		mB.InstallPage(p, lm, content)
+	}
+	if mB.RootDigest() != snapA.Root {
+		t.Fatal("fetched state root does not match source checkpoint")
+	}
+	snapB := mB.SealFetched(128, nil)
+	if snapB.Root != snapA.Root || mB.SnapCount() != 1 {
+		t.Fatal("SealFetched inconsistent")
+	}
+	if err := mB.VerifyTree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecomputeFullFindsCorruption(t *testing.T) {
+	r, m := newMgr(t, 16, 64, 4)
+	r.WriteAt(0, []byte("data"))
+	m.Take(128, nil)
+	if bad := m.RecomputeFull(); len(bad) != 0 {
+		t.Fatalf("clean state reported corrupt pages %v", bad)
+	}
+	m.CorruptLivePage(3)
+	bad := m.RecomputeFull()
+	if len(bad) != 1 || bad[0] != 3 {
+		t.Fatalf("corruption scan got %v, want [3]", bad)
+	}
+}
+
+func TestExtraCapturedPerSnapshot(t *testing.T) {
+	r, m := newMgr(t, 4, 64, 4)
+	r.WriteAt(0, []byte{1})
+	s1 := m.Take(128, []byte("replies-1"))
+	r.WriteAt(0, []byte{2})
+	s2 := m.Take(256, []byte("replies-2"))
+	if string(s1.Extra) != "replies-1" || string(s2.Extra) != "replies-2" {
+		t.Fatal("extra blobs mixed up")
+	}
+	got, _ := m.Snapshot(128)
+	if string(got.Extra) != "replies-1" {
+		t.Fatal("snapshot lookup returned wrong extra")
+	}
+}
+
+func TestCheckpointCostProportionalToDirtyPages(t *testing.T) {
+	// The incremental property Table 8.12 relies on: digesting work is
+	// bounded by dirty pages, not state size.
+	r, m := newMgr(t, 1024, 64, 16)
+	r.WriteAt(0, []byte{1}) // one dirty page
+	before := m.PagesDigested
+	m.Take(128, nil)
+	if m.PagesDigested-before != 1 {
+		t.Fatalf("digested %d pages for 1 dirty page", m.PagesDigested-before)
+	}
+	if err := m.VerifyTree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after arbitrary write/checkpoint interleavings the tree is
+// internally consistent and the latest snapshot root equals a from-scratch
+// rebuild on an identical region.
+func TestTreeConsistencyQuick(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := statemachine.NewRegion(32*64, 64)
+		m := NewManager(r, 4)
+		shadow := statemachine.NewRegion(32*64, 64)
+		seq := message.Seq(0)
+		lastMods := make([]message.Seq, 32)
+		for i := 0; i < int(ops)%40+5; i++ {
+			if rng.Intn(4) == 0 {
+				seq += 128
+				for _, p := range r.DirtyPages() {
+					lastMods[p] = seq
+				}
+				m.Take(seq, nil)
+			} else {
+				off := rng.Intn(32*64 - 4)
+				var b [4]byte
+				rng.Read(b[:])
+				r.WriteAt(off, b[:])
+				shadow.WriteAt(off, b[:])
+			}
+		}
+		seq += 128
+		for _, p := range r.DirtyPages() {
+			lastMods[p] = seq
+		}
+		snap := m.Take(seq, nil)
+		if m.VerifyTree() != nil {
+			return false
+		}
+		// From-scratch rebuild with the same lm values.
+		m2 := NewManager(shadow, 4)
+		for p := 0; p < 32; p++ {
+			if lastMods[p] != 0 {
+				m2.InstallPage(p, lastMods[p], shadow.Page(p))
+			}
+		}
+		return m2.RootDigest() == snap.Root
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package crypto
+
+import "encoding/binary"
+
+// Incr is an incremental digest: a 256-bit accumulator over which page and
+// sub-partition digests are combined by modular addition (AdHash, Section
+// 5.3.1). Because addition is commutative and invertible, updating the digest
+// of a meta-data partition when one child changes costs one subtraction and
+// one addition instead of rehashing every child; this is what makes frequent
+// checkpoints cheap (Table 8.12's workload).
+//
+// The accumulator is four little-endian 64-bit limbs; arithmetic is modulo
+// 2^256, which is collision resistant as long as the underlying hash is
+// (AdHash security reduces to the hash plus the weighted knapsack problem;
+// for this reproduction the stdlib SHA-256 stands in for the thesis's MD5).
+type Incr [4]uint64
+
+// IncrOf converts a digest into an accumulator element.
+func IncrOf(d Digest) Incr {
+	var v Incr
+	for i := 0; i < 4; i++ {
+		v[i] = binary.LittleEndian.Uint64(d[i*8:])
+	}
+	return v
+}
+
+// Digest converts the accumulator back to digest form (for wire transfer and
+// comparison).
+func (v Incr) Digest() Digest {
+	var d Digest
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint64(d[i*8:], v[i])
+	}
+	return d
+}
+
+// Add returns v + o (mod 2^256).
+func (v Incr) Add(o Incr) Incr {
+	var r Incr
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		s := v[i] + o[i]
+		c1 := uint64(0)
+		if s < v[i] {
+			c1 = 1
+		}
+		s2 := s + carry
+		c2 := uint64(0)
+		if s2 < s {
+			c2 = 1
+		}
+		r[i] = s2
+		carry = c1 + c2
+	}
+	return r
+}
+
+// Sub returns v - o (mod 2^256); it is the inverse of Add and enables
+// incremental updates: parent.Sub(oldChild).Add(newChild).
+func (v Incr) Sub(o Incr) Incr {
+	var r Incr
+	var borrow uint64
+	for i := 0; i < 4; i++ {
+		d := v[i] - o[i]
+		b1 := uint64(0)
+		if v[i] < o[i] {
+			b1 = 1
+		}
+		d2 := d - borrow
+		b2 := uint64(0)
+		if d < borrow {
+			b2 = 1
+		}
+		r[i] = d2
+		borrow = b1 + b2
+	}
+	return r
+}
+
+// IsZero reports whether the accumulator is zero.
+func (v Incr) IsZero() bool { return v == Incr{} }

@@ -1,0 +1,156 @@
+package crypto
+
+import "sync"
+
+// KeyStore holds the symmetric session keys one principal shares with every
+// other principal, together with the epoch bookkeeping needed for the
+// authentication-freshness rules of Section 4.3.1.
+//
+// Key direction follows the thesis: the key used for messages from i to j is
+// chosen by the RECEIVER j and announced to i in a new-key message. So a
+// node's "in" keys are the ones it generated (peers use them to send to it)
+// and its "out" keys are the latest ones each peer announced.
+//
+// KeyStore is safe for concurrent use: the replica event loop reads it while
+// transports may verify concurrently.
+type KeyStore struct {
+	mu   sync.RWMutex
+	self uint32
+
+	// inKeys[p] authenticates messages p sends to us; we chose it.
+	inKeys map[uint32][]byte
+	// inEpoch[p] is the epoch of inKeys[p] (bumped when we refresh).
+	inEpoch map[uint32]uint32
+	// outKeys[p] authenticates messages we send to p; p chose it.
+	outKeys  map[uint32][]byte
+	outEpoch map[uint32]uint32
+}
+
+// NewKeyStore creates an empty key store for principal self.
+func NewKeyStore(self uint32) *KeyStore {
+	return &KeyStore{
+		self:     self,
+		inKeys:   make(map[uint32][]byte),
+		inEpoch:  make(map[uint32]uint32),
+		outKeys:  make(map[uint32][]byte),
+		outEpoch: make(map[uint32]uint32),
+	}
+}
+
+// InstallInitial seeds the pairwise keys between self and peer
+// deterministically, as if an offline administrator had distributed them.
+// Both ends derive the same value, so clusters come up with working keys
+// before any new-key message is exchanged.
+func (ks *KeyStore) InstallInitial(peer uint32) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	// Key for peer->self traffic (chosen, conceptually, by self).
+	ks.inKeys[peer] = DeriveKey("session", uint64(peer), uint64(ks.self))
+	ks.inEpoch[peer] = 0
+	// Key for self->peer traffic (chosen by peer).
+	ks.outKeys[peer] = DeriveKey("session", uint64(ks.self), uint64(peer))
+	ks.outEpoch[peer] = 0
+}
+
+// RefreshIn generates a fresh key for messages from peer to self and returns
+// it so it can be shipped to peer in a new-key message. epoch must be the
+// sender's new epoch number.
+func (ks *KeyStore) RefreshIn(peer uint32, epoch uint32, seed uint64) []byte {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	k := DeriveKey("refresh", uint64(peer), uint64(ks.self), uint64(epoch), seed)
+	ks.inKeys[peer] = k
+	ks.inEpoch[peer] = epoch
+	return k
+}
+
+// SetOut installs the key peer announced for self->peer traffic.
+func (ks *KeyStore) SetOut(peer uint32, key []byte, epoch uint32) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.outKeys[peer] = key
+	ks.outEpoch[peer] = epoch
+}
+
+// OutKey returns the key and epoch for sending to peer.
+func (ks *KeyStore) OutKey(peer uint32) ([]byte, uint32) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.outKeys[peer], ks.outEpoch[peer]
+}
+
+// InKey returns the key and epoch expected on traffic from peer.
+func (ks *KeyStore) InKey(peer uint32) ([]byte, uint32) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.inKeys[peer], ks.inEpoch[peer]
+}
+
+// MakeAuthenticator computes the vector of MACs for a payload multicast by
+// self to principals [0, n). Entry self is left zero.
+func (ks *KeyStore) MakeAuthenticator(n int, payload []byte) Authenticator {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	a := Authenticator{MACs: make([]MAC, n)}
+	for p := 0; p < n; p++ {
+		if uint32(p) == ks.self {
+			continue
+		}
+		key := ks.outKeys[uint32(p)]
+		if key == nil {
+			continue
+		}
+		a.MACs[p] = ComputeMAC(key, payload)
+		// All out keys share the sender's view of epochs; report the max so
+		// receivers with refreshed keys can detect staleness.
+		if e := ks.outEpoch[uint32(p)]; e > a.Epoch {
+			a.Epoch = e
+		}
+	}
+	return a
+}
+
+// CheckAuthenticator verifies the MAC destined to self inside an
+// authenticator sent by from, enforcing epoch freshness: tags computed with
+// keys older than the current in-epoch for that sender are rejected, which
+// is how recovered replicas shed messages forged with stolen keys
+// (Section 4.3.2).
+func (ks *KeyStore) CheckAuthenticator(from uint32, payload []byte, a Authenticator) bool {
+	ks.mu.RLock()
+	key := ks.inKeys[from]
+	epoch := ks.inEpoch[from]
+	ks.mu.RUnlock()
+	if key == nil {
+		return false
+	}
+	if int(ks.self) >= len(a.MACs) {
+		return false
+	}
+	if a.Epoch < epoch {
+		return false
+	}
+	return VerifyMAC(key, payload, a.MACs[ks.self])
+}
+
+// ComputePointMAC computes the single MAC for a point-to-point message from
+// self to peer.
+func (ks *KeyStore) ComputePointMAC(peer uint32, payload []byte) MAC {
+	ks.mu.RLock()
+	key := ks.outKeys[peer]
+	ks.mu.RUnlock()
+	if key == nil {
+		return MAC{}
+	}
+	return ComputeMAC(key, payload)
+}
+
+// CheckPointMAC verifies a point-to-point MAC from peer to self.
+func (ks *KeyStore) CheckPointMAC(peer uint32, payload []byte, m MAC) bool {
+	ks.mu.RLock()
+	key := ks.inKeys[peer]
+	ks.mu.RUnlock()
+	if key == nil {
+		return false
+	}
+	return VerifyMAC(key, payload, m)
+}

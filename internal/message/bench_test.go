@@ -1,0 +1,60 @@
+package message
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+func benchPP() *PrePrepare {
+	pp := &PrePrepare{View: 3, Seq: 1000, Replica: 0, NonDet: make([]byte, 8)}
+	for i := 0; i < 8; i++ {
+		pp.Inline = append(pp.Inline, Request{
+			Client:    ClientIDBase + NodeID(i),
+			Timestamp: uint64(i),
+			Replier:   NoNode,
+			Op:        make([]byte, 100),
+			Auth: Auth{Kind: AuthVector, Vector: crypto.Authenticator{
+				MACs: make([]crypto.MAC, 4)}},
+		})
+	}
+	return pp
+}
+
+func BenchmarkMarshalPrePrepare(b *testing.B) {
+	pp := benchPP()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = pp.Marshal()
+	}
+}
+
+func BenchmarkUnmarshalPrePrepare(b *testing.B) {
+	raw := benchPP().Marshal()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalPrepare(b *testing.B) {
+	p := &Prepare{View: 1, Seq: 2, Replica: 3,
+		Auth: Auth{Kind: AuthVector, Vector: crypto.Authenticator{MACs: make([]crypto.MAC, 4)}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Marshal()
+	}
+}
+
+func BenchmarkBatchDigest16(b *testing.B) {
+	ds := make([]crypto.Digest, 16)
+	for i := range ds {
+		ds[i] = crypto.DigestOf([]byte{byte(i)})
+	}
+	for i := 0; i < b.N; i++ {
+		_ = BatchDigest(ds, nil)
+	}
+}

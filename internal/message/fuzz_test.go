@@ -1,0 +1,95 @@
+package message
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Unmarshal must never panic on arbitrary input — replicas feed it raw
+// network bytes from untrusted peers (§5.5).
+func TestUnmarshalArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %x: %v", b, r)
+			}
+		}()
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Valid encodings with a few corrupted bytes must either fail to decode or
+// decode into a *different* message (the tag/length framing must not make
+// corruption invisible at the codec layer; authentication catches content
+// tampering).
+func TestBitFlippedEncodingsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	mk := func() []byte {
+		m := &PrePrepare{
+			View: 3, Seq: 17,
+			Inline: []Request{{
+				Client: ClientIDBase, Timestamp: 9, Replier: NoNode,
+				Op: []byte("operation body"),
+			}},
+			Replica: 1,
+		}
+		return m.Marshal()
+	}
+	for i := 0; i < 500; i++ {
+		b := mk()
+		// Flip 1-3 random bytes.
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corrupted encoding: %v", r)
+				}
+			}()
+			_, _ = Unmarshal(b)
+		}()
+	}
+}
+
+// Messages with adversarially huge length prefixes must be rejected, not
+// ballooned into allocations.
+func TestHugeLengthPrefixRejected(t *testing.T) {
+	m := &Data{Index: 1, Page: make([]byte, 64), Replica: 2}
+	b := m.Marshal()
+	// The page length prefix sits after tag(1)+index(8)+lastmod(8).
+	copy(b[17:21], []byte{0xFF, 0xFF, 0xFF, 0x7F})
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("4GB length prefix accepted")
+	}
+}
+
+// Deeply recursive structures (pre-prepare with many inline requests)
+// round-trip correctly at the batching limit.
+func TestMaxBatchRoundTrip(t *testing.T) {
+	pp := &PrePrepare{View: 1, Seq: 2, Replica: 0}
+	for i := 0; i < 16; i++ {
+		pp.Inline = append(pp.Inline, Request{
+			Client:    ClientIDBase + NodeID(i),
+			Timestamp: uint64(i),
+			Replier:   NoNode,
+			Op:        make([]byte, 200),
+		})
+	}
+	out, err := Unmarshal(pp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*PrePrepare)
+	if len(got.Inline) != 16 {
+		t.Fatalf("inline count %d", len(got.Inline))
+	}
+	if got.BatchDigest() != pp.BatchDigest() {
+		t.Fatal("batch digest changed in transit")
+	}
+}

@@ -1,0 +1,421 @@
+package message
+
+import (
+	"repro/internal/crypto"
+)
+
+// ---------------------------------------------------------------------------
+// Retransmission (status) messages — §5.2
+// ---------------------------------------------------------------------------
+
+// StatusActive is ⟨STATUS-ACTIVE, v, ls, le, i, P, C⟩: a summary of replica
+// i's state while its view is active. Receivers retransmit what i is
+// missing. Prepared and Committed carry one bit per sequence number in
+// (LastExec, LastStable+L].
+type StatusActive struct {
+	View       View
+	LastStable Seq
+	LastExec   Seq
+	Replica    NodeID
+	Prepared   []byte // bitmap
+	Committed  []byte // bitmap
+	Auth       Auth
+}
+
+// MsgType implements Message.
+func (m *StatusActive) MsgType() Type { return TStatusActive }
+
+// Sender implements Message.
+func (m *StatusActive) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *StatusActive) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *StatusActive) Marshal() []byte { return marshalMsg(m, 128) }
+
+// Payload implements Message.
+func (m *StatusActive) Payload() []byte { return payloadOf(m, 128) }
+
+func (m *StatusActive) marshalBody(w *writer) {
+	w.u8(uint8(TStatusActive))
+	w.u64(uint64(m.View))
+	w.u64(uint64(m.LastStable))
+	w.u64(uint64(m.LastExec))
+	w.u32(uint32(m.Replica))
+	w.bytes(m.Prepared)
+	w.bytes(m.Committed)
+}
+
+func (m *StatusActive) unmarshalBody(r *reader) {
+	r.u8()
+	m.View = View(r.u64())
+	m.LastStable = Seq(r.u64())
+	m.LastExec = Seq(r.u64())
+	m.Replica = NodeID(r.u32())
+	m.Prepared = r.bytes()
+	m.Committed = r.bytes()
+}
+
+// StatusPending is the status summary sent while a view change is in
+// progress: it triggers retransmission of view-change and new-view protocol
+// messages (§5.2).
+type StatusPending struct {
+	View       View
+	LastStable Seq
+	LastExec   Seq
+	Replica    NodeID
+	HasNewView bool
+	// VCs has one bit per replica: whether the sender holds a view-change
+	// message from that replica for View.
+	VCs  []byte
+	Auth Auth
+}
+
+// MsgType implements Message.
+func (m *StatusPending) MsgType() Type { return TStatusPending }
+
+// Sender implements Message.
+func (m *StatusPending) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *StatusPending) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *StatusPending) Marshal() []byte { return marshalMsg(m, 128) }
+
+// Payload implements Message.
+func (m *StatusPending) Payload() []byte { return payloadOf(m, 128) }
+
+func (m *StatusPending) marshalBody(w *writer) {
+	w.u8(uint8(TStatusPending))
+	w.u64(uint64(m.View))
+	w.u64(uint64(m.LastStable))
+	w.u64(uint64(m.LastExec))
+	w.u32(uint32(m.Replica))
+	w.bool(m.HasNewView)
+	w.bytes(m.VCs)
+}
+
+func (m *StatusPending) unmarshalBody(r *reader) {
+	r.u8()
+	m.View = View(r.u64())
+	m.LastStable = Seq(r.u64())
+	m.LastExec = Seq(r.u64())
+	m.Replica = NodeID(r.u32())
+	m.HasNewView = r.bool()
+	m.VCs = r.bytes()
+}
+
+// ---------------------------------------------------------------------------
+// State transfer — §5.3.2
+// ---------------------------------------------------------------------------
+
+// Fetch is ⟨FETCH, l, x, lc, c, k, i⟩: replica i asks for the partition at
+// level Level and index Index. LastKnown (lc) is the checkpoint the
+// requester already reflects for that partition; Target (c) is the
+// checkpoint whose digest the requester knows (0 = unknown, any recent);
+// Replier (k) is the designated replica that should send the full data.
+type Fetch struct {
+	Level     uint8
+	Index     uint64
+	LastKnown Seq
+	Target    Seq
+	Replier   NodeID
+	Replica   NodeID
+	Auth      Auth
+}
+
+// MsgType implements Message.
+func (m *Fetch) MsgType() Type { return TFetch }
+
+// Sender implements Message.
+func (m *Fetch) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *Fetch) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *Fetch) Marshal() []byte { return marshalMsg(m, 64) }
+
+// Payload implements Message.
+func (m *Fetch) Payload() []byte { return payloadOf(m, 64) }
+
+func (m *Fetch) marshalBody(w *writer) {
+	w.u8(uint8(TFetch))
+	w.u8(m.Level)
+	w.u64(m.Index)
+	w.u64(uint64(m.LastKnown))
+	w.u64(uint64(m.Target))
+	w.u32(uint32(m.Replier))
+	w.u32(uint32(m.Replica))
+}
+
+func (m *Fetch) unmarshalBody(r *reader) {
+	r.u8()
+	m.Level = r.u8()
+	m.Index = r.u64()
+	m.LastKnown = Seq(r.u64())
+	m.Target = Seq(r.u64())
+	m.Replier = NodeID(r.u32())
+	m.Replica = NodeID(r.u32())
+}
+
+// PartInfo describes one sub-partition inside a MetaData reply: its index,
+// the checkpoint at which it last changed (lm), and its digest.
+type PartInfo struct {
+	Index   uint64
+	LastMod Seq
+	Digest  crypto.Digest
+}
+
+// MetaData is ⟨META-DATA, c, l, x, P, k⟩: sub-partition digests of partition
+// (Level, Index) at checkpoint Seq. Sent by the designated replier (no MAC
+// needed — the requester verifies against a known digest) or, with a MAC,
+// by other replicas reporting their latest stable checkpoint. LastMod is the
+// partition's own last-modification checkpoint. For the root partition,
+// Extra carries the serialized reply cache (last-rep/last-rep-t of the
+// formal specification), which is part of the checkpointed state.
+type MetaData struct {
+	Seq     Seq
+	Level   uint8
+	Index   uint64
+	LastMod Seq
+	Parts   []PartInfo
+	Extra   []byte
+	Replica NodeID
+	Auth    Auth
+}
+
+// MsgType implements Message.
+func (m *MetaData) MsgType() Type { return TMetaData }
+
+// Sender implements Message.
+func (m *MetaData) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *MetaData) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *MetaData) Marshal() []byte { return marshalMsg(m, 64+len(m.Parts)*48) }
+
+// Payload implements Message.
+func (m *MetaData) Payload() []byte { return payloadOf(m, 64+len(m.Parts)*48) }
+
+func (m *MetaData) marshalBody(w *writer) {
+	w.u8(uint8(TMetaData))
+	w.u64(uint64(m.Seq))
+	w.u8(m.Level)
+	w.u64(m.Index)
+	w.u64(uint64(m.LastMod))
+	w.u32(uint32(len(m.Parts)))
+	for _, p := range m.Parts {
+		w.u64(p.Index)
+		w.u64(uint64(p.LastMod))
+		w.digest(p.Digest)
+	}
+	w.bytes(m.Extra)
+	w.u32(uint32(m.Replica))
+}
+
+func (m *MetaData) unmarshalBody(r *reader) {
+	r.u8()
+	m.Seq = Seq(r.u64())
+	m.Level = r.u8()
+	m.Index = r.u64()
+	m.LastMod = Seq(r.u64())
+	n := r.sliceLen(16 + crypto.DigestSize)
+	m.Parts = make([]PartInfo, n)
+	for i := 0; i < n; i++ {
+		m.Parts[i].Index = r.u64()
+		m.Parts[i].LastMod = Seq(r.u64())
+		m.Parts[i].Digest = r.digest()
+	}
+	m.Extra = r.bytes()
+	m.Replica = NodeID(r.u32())
+}
+
+// Data is ⟨DATA, x, lm, p⟩: the full value of page Index, last modified at
+// checkpoint LastMod. The requester verifies it against the digest it
+// learned from meta-data, so no MAC is needed (§5.3.2).
+type Data struct {
+	Index   uint64
+	LastMod Seq
+	Page    []byte
+	Replica NodeID
+	Auth    Auth
+}
+
+// MsgType implements Message.
+func (m *Data) MsgType() Type { return TData }
+
+// Sender implements Message.
+func (m *Data) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *Data) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *Data) Marshal() []byte { return marshalMsg(m, 64+len(m.Page)) }
+
+// Payload implements Message.
+func (m *Data) Payload() []byte { return payloadOf(m, 64+len(m.Page)) }
+
+func (m *Data) marshalBody(w *writer) {
+	w.u8(uint8(TData))
+	w.u64(m.Index)
+	w.u64(uint64(m.LastMod))
+	w.bytes(m.Page)
+	w.u32(uint32(m.Replica))
+}
+
+func (m *Data) unmarshalBody(r *reader) {
+	r.u8()
+	m.Index = r.u64()
+	m.LastMod = Seq(r.u64())
+	m.Page = r.bytes()
+	m.Replica = NodeID(r.u32())
+}
+
+// ---------------------------------------------------------------------------
+// Proactive recovery — §4.3
+// ---------------------------------------------------------------------------
+
+// NewKey is ⟨NEW-KEY, i, ..{k_j}.., t⟩ (§4.3.1): replica or client i
+// announces fresh session keys for traffic sent TO it. Keys[j] is the key
+// principal j must use (conceptually encrypted under j's public key; the
+// simulation ships it in the clear on the trusted setup channel). The
+// message is signed by the sender's co-processor; Counter is the
+// co-processor's monotonic counter preventing suppress-replay attacks.
+type NewKey struct {
+	Replica NodeID
+	Epoch   uint32
+	Counter uint64
+	Peers   []NodeID
+	Keys    [][]byte
+	Auth    Auth
+}
+
+// MsgType implements Message.
+func (m *NewKey) MsgType() Type { return TNewKey }
+
+// Sender implements Message.
+func (m *NewKey) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *NewKey) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *NewKey) Marshal() []byte { return marshalMsg(m, 64+len(m.Keys)*24) }
+
+// Payload implements Message.
+func (m *NewKey) Payload() []byte { return payloadOf(m, 64+len(m.Keys)*24) }
+
+func (m *NewKey) marshalBody(w *writer) {
+	w.u8(uint8(TNewKey))
+	w.u32(uint32(m.Replica))
+	w.u32(m.Epoch)
+	w.u64(m.Counter)
+	w.u32(uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		w.u32(uint32(p))
+	}
+	w.u32(uint32(len(m.Keys)))
+	for _, k := range m.Keys {
+		w.bytes(k)
+	}
+}
+
+func (m *NewKey) unmarshalBody(r *reader) {
+	r.u8()
+	m.Replica = NodeID(r.u32())
+	m.Epoch = r.u32()
+	m.Counter = r.u64()
+	np := r.sliceLen(4)
+	m.Peers = make([]NodeID, np)
+	for i := 0; i < np; i++ {
+		m.Peers[i] = NodeID(r.u32())
+	}
+	nk := r.sliceLen(4)
+	m.Keys = make([][]byte, 0, min(nk, 4096))
+	for i := 0; i < nk && r.err == nil; i++ {
+		m.Keys = append(m.Keys, r.bytes())
+	}
+}
+
+// QueryStable is ⟨QUERY-STABLE, i, nonce⟩ (§4.3.2): the recovering replica
+// asks everyone for their checkpoint progress to estimate its high-water
+// mark bound.
+type QueryStable struct {
+	Replica NodeID
+	Nonce   uint64
+	Auth    Auth
+}
+
+// MsgType implements Message.
+func (m *QueryStable) MsgType() Type { return TQueryStable }
+
+// Sender implements Message.
+func (m *QueryStable) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *QueryStable) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *QueryStable) Marshal() []byte { return marshalMsg(m, 32) }
+
+// Payload implements Message.
+func (m *QueryStable) Payload() []byte { return payloadOf(m, 32) }
+
+func (m *QueryStable) marshalBody(w *writer) {
+	w.u8(uint8(TQueryStable))
+	w.u32(uint32(m.Replica))
+	w.u64(m.Nonce)
+}
+
+func (m *QueryStable) unmarshalBody(r *reader) {
+	r.u8()
+	m.Replica = NodeID(r.u32())
+	m.Nonce = r.u64()
+}
+
+// ReplyStable is ⟨REPLY-STABLE, c, p, i⟩ (§4.3.2): replica i's last stable
+// checkpoint is LastCkpt and its last prepared request is LastPrepared.
+type ReplyStable struct {
+	LastCkpt     Seq
+	LastPrepared Seq
+	Replica      NodeID
+	Nonce        uint64
+	Auth         Auth
+}
+
+// MsgType implements Message.
+func (m *ReplyStable) MsgType() Type { return TReplyStable }
+
+// Sender implements Message.
+func (m *ReplyStable) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *ReplyStable) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *ReplyStable) Marshal() []byte { return marshalMsg(m, 48) }
+
+// Payload implements Message.
+func (m *ReplyStable) Payload() []byte { return payloadOf(m, 48) }
+
+func (m *ReplyStable) marshalBody(w *writer) {
+	w.u8(uint8(TReplyStable))
+	w.u64(uint64(m.LastCkpt))
+	w.u64(uint64(m.LastPrepared))
+	w.u32(uint32(m.Replica))
+	w.u64(m.Nonce)
+}
+
+func (m *ReplyStable) unmarshalBody(r *reader) {
+	r.u8()
+	m.LastCkpt = Seq(r.u64())
+	m.LastPrepared = Seq(r.u64())
+	m.Replica = NodeID(r.u32())
+	m.Nonce = r.u64()
+}

@@ -1,0 +1,233 @@
+package message
+
+import (
+	"repro/internal/crypto"
+)
+
+// View is a view number; the primary of view v is replica v mod n.
+type View uint64
+
+// Seq is a protocol sequence number assigned by a primary to a batch.
+type Seq uint64
+
+// NodeID identifies a principal. Replicas are numbered 0..n-1; clients are
+// numbered from ClientIDBase upward so the two spaces never collide.
+type NodeID int32
+
+// ClientIDBase is the first client NodeID.
+const ClientIDBase NodeID = 1000
+
+// NoNode is the nil NodeID.
+const NoNode NodeID = -1
+
+// IsClient reports whether id falls in the client space.
+func (id NodeID) IsClient() bool { return id >= ClientIDBase }
+
+// Type tags every wire message.
+type Type uint8
+
+// Wire message type tags.
+const (
+	TRequest Type = iota + 1
+	TReply
+	TPrePrepare
+	TPrepare
+	TCommit
+	TCheckpoint
+	TViewChange
+	TViewChangeAck
+	TNewView
+	TStatusActive
+	TStatusPending
+	TFetch
+	TMetaData
+	TData
+	TNewKey
+	TQueryStable
+	TReplyStable
+	TBatchFetch
+	TBatchBody
+	numTypes
+)
+
+var typeNames = [...]string{
+	TRequest:       "request",
+	TReply:         "reply",
+	TPrePrepare:    "pre-prepare",
+	TPrepare:       "prepare",
+	TCommit:        "commit",
+	TCheckpoint:    "checkpoint",
+	TViewChange:    "view-change",
+	TViewChangeAck: "view-change-ack",
+	TNewView:       "new-view",
+	TStatusActive:  "status-active",
+	TStatusPending: "status-pending",
+	TFetch:         "fetch",
+	TMetaData:      "meta-data",
+	TData:          "data",
+	TNewKey:        "new-key",
+	TQueryStable:   "query-stable",
+	TReplyStable:   "reply-stable",
+	TBatchFetch:    "batch-fetch",
+	TBatchBody:     "batch-body",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return "unknown"
+}
+
+// AuthKind says how a message's trailer authenticates it.
+type AuthKind uint8
+
+// Authentication trailer kinds.
+const (
+	AuthNone AuthKind = iota
+	AuthVector
+	AuthMAC
+	AuthSig
+)
+
+// Auth is the authentication trailer shared by all messages. Exactly one of
+// Vector, MAC or Sig is meaningful, selected by Kind. BFT-PK signs
+// everything; BFT uses authenticators for multicast messages and single MACs
+// for point-to-point ones; new-key and recovery requests are always signed.
+type Auth struct {
+	Kind   AuthKind
+	Vector crypto.Authenticator
+	MAC    crypto.MAC
+	Sig    []byte
+}
+
+func (a *Auth) marshal(w *writer) {
+	w.u8(uint8(a.Kind))
+	switch a.Kind {
+	case AuthVector:
+		w.u32(a.Vector.Epoch)
+		w.u32(uint32(len(a.Vector.MACs)))
+		for _, m := range a.Vector.MACs {
+			w.mac(m)
+		}
+	case AuthMAC:
+		w.mac(a.MAC)
+	case AuthSig:
+		w.bytes(a.Sig)
+	}
+}
+
+func (a *Auth) unmarshal(r *reader) {
+	a.Kind = AuthKind(r.u8())
+	switch a.Kind {
+	case AuthNone:
+	case AuthVector:
+		a.Vector.Epoch = r.u32()
+		n := r.sliceLen(crypto.MACSize)
+		a.Vector.MACs = make([]crypto.MAC, n)
+		for i := 0; i < n; i++ {
+			a.Vector.MACs[i] = r.mac()
+		}
+	case AuthMAC:
+		a.MAC = r.mac()
+	case AuthSig:
+		a.Sig = r.bytes()
+	default:
+		r.fail()
+	}
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	// MsgType returns the wire tag.
+	MsgType() Type
+	// Sender returns the principal that (claims to have) sent the message.
+	Sender() NodeID
+	// Marshal encodes body followed by the authentication trailer.
+	Marshal() []byte
+	// Payload encodes the body alone: the bytes that MACs/signatures cover.
+	Payload() []byte
+	// AuthTrailer gives access to the trailer for signing/verifying.
+	AuthTrailer() *Auth
+}
+
+// Unmarshal decodes any wire message by its leading tag.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	var m Message
+	switch Type(b[0]) {
+	case TRequest:
+		m = new(Request)
+	case TReply:
+		m = new(Reply)
+	case TPrePrepare:
+		m = new(PrePrepare)
+	case TPrepare:
+		m = new(Prepare)
+	case TCommit:
+		m = new(Commit)
+	case TCheckpoint:
+		m = new(Checkpoint)
+	case TViewChange:
+		m = new(ViewChange)
+	case TViewChangeAck:
+		m = new(ViewChangeAck)
+	case TNewView:
+		m = new(NewView)
+	case TStatusActive:
+		m = new(StatusActive)
+	case TStatusPending:
+		m = new(StatusPending)
+	case TFetch:
+		m = new(Fetch)
+	case TMetaData:
+		m = new(MetaData)
+	case TData:
+		m = new(Data)
+	case TNewKey:
+		m = new(NewKey)
+	case TQueryStable:
+		m = new(QueryStable)
+	case TReplyStable:
+		m = new(ReplyStable)
+	case TBatchFetch:
+		m = new(BatchFetch)
+	case TBatchBody:
+		m = new(BatchBody)
+	default:
+		return nil, ErrBadTag
+	}
+	if err := unmarshalInto(m, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// bodyCodec is the per-type body encoder/decoder implemented by each message.
+type bodyCodec interface {
+	marshalBody(w *writer)
+	unmarshalBody(r *reader)
+	AuthTrailer() *Auth
+}
+
+func marshalMsg(m bodyCodec, sizeHint int) []byte {
+	w := newWriter(sizeHint)
+	m.marshalBody(w)
+	m.AuthTrailer().marshal(w)
+	return w.b
+}
+
+func payloadOf(m bodyCodec, sizeHint int) []byte {
+	w := newWriter(sizeHint)
+	m.marshalBody(w)
+	return w.b
+}
+
+func unmarshalInto(m Message, b []byte) error {
+	r := newReader(b)
+	m.(bodyCodec).unmarshalBody(r)
+	m.AuthTrailer().unmarshal(r)
+	return r.done()
+}

@@ -1,0 +1,274 @@
+package message
+
+import (
+	"repro/internal/crypto"
+)
+
+// PInfo is one entry of a view-change message's P component (§3.2.4): the
+// sender collected a prepared certificate for the request with digest Digest
+// at sequence number Seq in view View, and nothing prepared later.
+type PInfo struct {
+	Seq    Seq
+	Digest crypto.Digest
+	View   View
+}
+
+// DV pairs a request digest with the last view in which it pre-prepared.
+type DV struct {
+	Digest crypto.Digest
+	View   View
+}
+
+// QInfo is one entry of the Q component (§3.2.4): for sequence number Seq,
+// each (digest, view) pair records the latest view in which a request with
+// that digest pre-prepared at the sender.
+type QInfo struct {
+	Seq     Seq
+	Entries []DV
+}
+
+// CkptInfo pairs a checkpoint sequence number with its state digest
+// (the C component).
+type CkptInfo struct {
+	Seq    Seq
+	Digest crypto.Digest
+}
+
+// ViewChange is ⟨VIEW-CHANGE, v+1, h, C, P, Q, i⟩ (§3.2.4). H is the
+// sequence number of the sender's last stable checkpoint.
+type ViewChange struct {
+	NewView View
+	H       Seq
+	Ckpts   []CkptInfo
+	P       []PInfo
+	Q       []QInfo
+	Replica NodeID
+	Auth    Auth
+}
+
+// Digest identifies the view-change message for acks and new-view
+// certificates. It covers the body (not the authenticator).
+func (m *ViewChange) Digest() crypto.Digest {
+	return crypto.DigestOf(m.Payload())
+}
+
+// PEntry returns the P entry for seq, if any.
+func (m *ViewChange) PEntry(seq Seq) (PInfo, bool) {
+	for _, p := range m.P {
+		if p.Seq == seq {
+			return p, true
+		}
+	}
+	return PInfo{}, false
+}
+
+// QEntry returns the Q entry for seq, if any.
+func (m *ViewChange) QEntry(seq Seq) (QInfo, bool) {
+	for _, q := range m.Q {
+		if q.Seq == seq {
+			return q, true
+		}
+	}
+	return QInfo{}, false
+}
+
+// MsgType implements Message.
+func (m *ViewChange) MsgType() Type { return TViewChange }
+
+// Sender implements Message.
+func (m *ViewChange) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *ViewChange) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *ViewChange) Marshal() []byte { return marshalMsg(m, 512) }
+
+// Payload implements Message.
+func (m *ViewChange) Payload() []byte { return payloadOf(m, 512) }
+
+func (m *ViewChange) marshalBody(w *writer) {
+	w.u8(uint8(TViewChange))
+	w.u64(uint64(m.NewView))
+	w.u64(uint64(m.H))
+	w.u32(uint32(len(m.Ckpts)))
+	for _, c := range m.Ckpts {
+		w.u64(uint64(c.Seq))
+		w.digest(c.Digest)
+	}
+	w.u32(uint32(len(m.P)))
+	for _, p := range m.P {
+		w.u64(uint64(p.Seq))
+		w.digest(p.Digest)
+		w.u64(uint64(p.View))
+	}
+	w.u32(uint32(len(m.Q)))
+	for _, q := range m.Q {
+		w.u64(uint64(q.Seq))
+		w.u32(uint32(len(q.Entries)))
+		for _, e := range q.Entries {
+			w.digest(e.Digest)
+			w.u64(uint64(e.View))
+		}
+	}
+	w.u32(uint32(m.Replica))
+}
+
+func (m *ViewChange) unmarshalBody(r *reader) {
+	r.u8()
+	m.NewView = View(r.u64())
+	m.H = Seq(r.u64())
+	nc := r.sliceLen(8 + crypto.DigestSize)
+	m.Ckpts = make([]CkptInfo, nc)
+	for i := 0; i < nc; i++ {
+		m.Ckpts[i].Seq = Seq(r.u64())
+		m.Ckpts[i].Digest = r.digest()
+	}
+	np := r.sliceLen(16 + crypto.DigestSize)
+	m.P = make([]PInfo, np)
+	for i := 0; i < np; i++ {
+		m.P[i].Seq = Seq(r.u64())
+		m.P[i].Digest = r.digest()
+		m.P[i].View = View(r.u64())
+	}
+	nq := r.sliceLen(12)
+	m.Q = make([]QInfo, 0, min(nq, 4096))
+	for i := 0; i < nq && r.err == nil; i++ {
+		var q QInfo
+		q.Seq = Seq(r.u64())
+		ne := r.sliceLen(8 + crypto.DigestSize)
+		q.Entries = make([]DV, ne)
+		for j := 0; j < ne; j++ {
+			q.Entries[j].Digest = r.digest()
+			q.Entries[j].View = View(r.u64())
+		}
+		m.Q = append(m.Q, q)
+	}
+	m.Replica = NodeID(r.u32())
+}
+
+// ViewChangeAck is ⟨VIEW-CHANGE-ACK, v+1, i, j, d⟩ (§3.2.4): replica i tells
+// the primary of v+1 that it received a view-change message from j whose
+// body digest is d. 2f-1 acks let the primary prove the message's
+// authenticity to backups that did not receive it.
+type ViewChangeAck struct {
+	View     View
+	Replica  NodeID // the acker, i
+	Source   NodeID // the replica whose view-change is acknowledged, j
+	VCDigest crypto.Digest
+	Auth     Auth
+}
+
+// MsgType implements Message.
+func (m *ViewChangeAck) MsgType() Type { return TViewChangeAck }
+
+// Sender implements Message.
+func (m *ViewChangeAck) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *ViewChangeAck) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *ViewChangeAck) Marshal() []byte { return marshalMsg(m, 96) }
+
+// Payload implements Message.
+func (m *ViewChangeAck) Payload() []byte { return payloadOf(m, 96) }
+
+func (m *ViewChangeAck) marshalBody(w *writer) {
+	w.u8(uint8(TViewChangeAck))
+	w.u64(uint64(m.View))
+	w.u32(uint32(m.Replica))
+	w.u32(uint32(m.Source))
+	w.digest(m.VCDigest)
+}
+
+func (m *ViewChangeAck) unmarshalBody(r *reader) {
+	r.u8()
+	m.View = View(r.u64())
+	m.Replica = NodeID(r.u32())
+	m.Source = NodeID(r.u32())
+	m.VCDigest = r.digest()
+}
+
+// VCSummary names one view-change message inside a new-view certificate.
+type VCSummary struct {
+	Replica  NodeID
+	VCDigest crypto.Digest
+}
+
+// SeqDigest is one chosen request for the new view: the request with digest
+// Digest is pre-prepared at sequence number Seq (ZeroDigest = null request).
+type SeqDigest struct {
+	Seq    Seq
+	Digest crypto.Digest
+}
+
+// NewView is ⟨NEW-VIEW, v+1, V, X⟩ (§3.2.4). V identifies the 2f+1
+// view-change messages justifying the decision; CkptSeq/CkptDigest select
+// the starting checkpoint h; X lists the chosen request for every sequence
+// number in (h, h+L] that needs one.
+type NewView struct {
+	View       View
+	V          []VCSummary
+	CkptSeq    Seq
+	CkptDigest crypto.Digest
+	X          []SeqDigest
+	Replica    NodeID
+	Auth       Auth
+}
+
+// Digest identifies the new-view decision (used by not-committed tracking).
+func (m *NewView) Digest() crypto.Digest { return crypto.DigestOf(m.Payload()) }
+
+// MsgType implements Message.
+func (m *NewView) MsgType() Type { return TNewView }
+
+// Sender implements Message.
+func (m *NewView) Sender() NodeID { return m.Replica }
+
+// AuthTrailer implements Message.
+func (m *NewView) AuthTrailer() *Auth { return &m.Auth }
+
+// Marshal implements Message.
+func (m *NewView) Marshal() []byte { return marshalMsg(m, 512) }
+
+// Payload implements Message.
+func (m *NewView) Payload() []byte { return payloadOf(m, 512) }
+
+func (m *NewView) marshalBody(w *writer) {
+	w.u8(uint8(TNewView))
+	w.u64(uint64(m.View))
+	w.u32(uint32(len(m.V)))
+	for _, v := range m.V {
+		w.u32(uint32(v.Replica))
+		w.digest(v.VCDigest)
+	}
+	w.u64(uint64(m.CkptSeq))
+	w.digest(m.CkptDigest)
+	w.u32(uint32(len(m.X)))
+	for _, x := range m.X {
+		w.u64(uint64(x.Seq))
+		w.digest(x.Digest)
+	}
+	w.u32(uint32(m.Replica))
+}
+
+func (m *NewView) unmarshalBody(r *reader) {
+	r.u8()
+	m.View = View(r.u64())
+	nv := r.sliceLen(4 + crypto.DigestSize)
+	m.V = make([]VCSummary, nv)
+	for i := 0; i < nv; i++ {
+		m.V[i].Replica = NodeID(r.u32())
+		m.V[i].VCDigest = r.digest()
+	}
+	m.CkptSeq = Seq(r.u64())
+	m.CkptDigest = r.digest()
+	nx := r.sliceLen(8 + crypto.DigestSize)
+	m.X = make([]SeqDigest, nx)
+	for i := 0; i < nx; i++ {
+		m.X[i].Seq = Seq(r.u64())
+		m.X[i].Digest = r.digest()
+	}
+	m.Replica = NodeID(r.u32())
+}

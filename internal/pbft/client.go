@@ -1,0 +1,287 @@
+package pbft
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/message"
+	"repro/internal/simnet"
+)
+
+// ErrClientClosed is returned by Invoke after Close.
+var ErrClientClosed = errors.New("pbft: client closed")
+
+// Client is the proxy of §2.3.2/§6.2: it timestamps requests, sends them to
+// the primary (retransmitting to everyone on timeout), and assembles reply
+// certificates — weak (f+1) for ordinary replies, quorum (2f+1) for
+// tentative and read-only replies.
+type Client struct {
+	id   message.NodeID
+	dir  *Directory
+	mode Mode
+	opt  Options
+	ks   *crypto.KeyStore
+	kp   crypto.KeyPair
+
+	trans simnet.Transport
+
+	// RetryTimeout is the base retransmission timeout; it backs off
+	// exponentially like the adaptive scheme of §5.2.
+	RetryTimeout time.Duration
+	// MaxRetries bounds retransmissions before Invoke fails.
+	MaxRetries int
+	// MulticastThreshold mirrors the library's separate-request-transmission
+	// cutoff (§5.1.5): operations larger than this are multicast to every
+	// replica up front, because the primary's pre-prepare will carry only
+	// their digest.
+	MulticastThreshold int
+
+	mu        sync.Mutex
+	timestamp uint64
+	view      message.View // latest view observed in replies
+	pending   *pendingInvoke
+	closed    bool
+
+	rngMu sync.Mutex
+	seed  uint64
+}
+
+type replyVote struct {
+	digest    crypto.Digest
+	tentative bool
+}
+
+type pendingInvoke struct {
+	timestamp uint64
+	need      int // matching replies required
+	votes     map[message.NodeID]replyVote
+	results   map[crypto.Digest][]byte // full results received, by digest
+	done      chan []byte
+	readOnly  bool
+}
+
+// NewClient attaches a client to the network. Session keys with each replica
+// derive from the same offline setup replicas use.
+func NewClient(id message.NodeID, dir *Directory, net Network, mode Mode, opt Options) *Client {
+	c := &Client{
+		id:                 id,
+		dir:                dir,
+		mode:               mode,
+		opt:                opt,
+		ks:                 crypto.NewKeyStore(uint32(id)),
+		kp:                 crypto.GenerateKeyPair(crypto.DeriveKey("client-identity", uint64(id))),
+		RetryTimeout:       150 * time.Millisecond,
+		MaxRetries:         10,
+		MulticastThreshold: 255,
+		seed:               uint64(id),
+	}
+	dir.Register(id, c.kp.Public)
+	for i := 0; i < dir.N(); i++ {
+		c.ks.InstallInitial(uint32(i))
+	}
+	c.trans = net.Attach(id, c.onRaw)
+	return c
+}
+
+// ID returns the client's principal id.
+func (c *Client) ID() message.NodeID { return c.id }
+
+// Close detaches the client from the network.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.trans.Close()
+}
+
+func (c *Client) f() int { return (c.dir.N() - 1) / 3 }
+
+// Invoke executes an operation on the replicated service and returns its
+// result (§6.2's Byz_invoke). readOnly requests use the single-round-trip
+// optimization when the library has it enabled.
+func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.timestamp++
+	ts := c.timestamp
+	view := c.view
+
+	useRO := readOnly && c.opt.ReadOnly
+	need := c.f() + 1
+	if useRO {
+		need = 2*c.f() + 1
+	}
+	p := &pendingInvoke{
+		timestamp: ts,
+		need:      need,
+		votes:     make(map[message.NodeID]replyVote),
+		results:   make(map[crypto.Digest][]byte),
+		done:      make(chan []byte, 1),
+		readOnly:  useRO,
+	}
+	c.pending = p
+	c.mu.Unlock()
+
+	replier := c.pickReplier()
+	req := &message.Request{
+		Client:    c.id,
+		Timestamp: ts,
+		Replier:   replier,
+		Op:        op,
+	}
+	if useRO {
+		req.Flags |= message.FlagReadOnly
+	}
+	if !c.opt.DigestReplies {
+		req.Replier = message.NoNode
+	}
+	c.authRequest(req)
+
+	// First transmission: read-only requests and large requests (separate
+	// request transmission, §5.1.5) go to everyone; small read-write
+	// requests go to the believed primary (§2.3.2).
+	if useRO || (c.opt.SeparateRequests && len(op) > c.MulticastThreshold) {
+		c.trans.Multicast(c.dir.ReplicaIDs(), req.Marshal())
+	} else {
+		c.trans.Send(c.dir.Primary(view), req.Marshal())
+	}
+
+	timeout := c.RetryTimeout
+	maxBackoff := 8 * c.RetryTimeout // cap the exponential backoff (§5.2)
+	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		select {
+		case res := <-p.done:
+			c.mu.Lock()
+			c.pending = nil
+			c.mu.Unlock()
+			return res, nil
+		case <-time.After(timeout):
+		}
+		// Retransmit to all replicas; ask everyone for the full result and
+		// demote read-only to read-write (§5.1.3, §5.2).
+		retry := &message.Request{
+			Client:    c.id,
+			Timestamp: ts,
+			Replier:   message.NoNode,
+			Op:        op,
+		}
+		c.mu.Lock()
+		if p.readOnly {
+			p.readOnly = false
+			p.need = c.f() + 1
+			p.votes = make(map[message.NodeID]replyVote)
+			// Keep results: digests can still match.
+		}
+		c.mu.Unlock()
+		c.authRequest(retry)
+		c.trans.Multicast(c.dir.ReplicaIDs(), retry.Marshal())
+		timeout *= 2 // randomized exponential backoff, deterministic here
+		if timeout > maxBackoff {
+			timeout = maxBackoff
+		}
+	}
+	c.mu.Lock()
+	c.pending = nil
+	c.mu.Unlock()
+	return nil, errors.New("pbft: request timed out without a reply certificate")
+}
+
+// pickReplier chooses the designated replier round-robin (load balancing,
+// §5.1.1).
+func (c *Client) pickReplier() message.NodeID {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	c.seed = c.seed*6364136223846793005 + 1442695040888963407
+	return message.NodeID(c.seed % uint64(c.dir.N()))
+}
+
+func (c *Client) authRequest(req *message.Request) {
+	if c.mode == ModePK {
+		req.Auth = message.Auth{Kind: message.AuthSig, Sig: c.kp.Sign(req.Payload())}
+		return
+	}
+	req.Auth = message.Auth{
+		Kind:   message.AuthVector,
+		Vector: c.ks.MakeAuthenticator(c.dir.N(), req.Payload()),
+	}
+}
+
+// onRaw handles replies from replicas.
+func (c *Client) onRaw(b []byte) {
+	m, err := message.Unmarshal(b)
+	if err != nil {
+		return
+	}
+	rep, ok := m.(*message.Reply)
+	if !ok || rep.Client != c.id {
+		return
+	}
+	if !c.verifyReply(rep) {
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rep.View > c.view {
+		c.view = rep.View // track the current primary (§2.3.2)
+	}
+	p := c.pending
+	if p == nil || rep.Timestamp != p.timestamp {
+		return
+	}
+	if rep.HasResult {
+		if crypto.DigestOf(rep.Result) != rep.ResultDigest {
+			return // inconsistent reply
+		}
+		p.results[rep.ResultDigest] = rep.Result
+	}
+	p.votes[rep.Replica] = replyVote{digest: rep.ResultDigest, tentative: rep.Tentative}
+
+	// Count votes per digest. Tentative replies need a quorum; final
+	// replies need only a weak certificate — a final vote also supports a
+	// tentative count (it is strictly stronger).
+	counts := make(map[crypto.Digest]int)
+	finals := make(map[crypto.Digest]int)
+	for _, v := range p.votes {
+		counts[v.digest]++
+		if !v.tentative {
+			finals[v.digest]++
+		}
+	}
+	for d, n := range counts {
+		enough := n >= 2*c.f()+1 || finals[d] >= p.need
+		if p.readOnly {
+			enough = n >= p.need
+		}
+		if enough {
+			if res, ok := p.results[d]; ok {
+				select {
+				case p.done <- res:
+				default:
+				}
+				return
+			}
+			// Certificate complete but no full result yet: keep waiting (a
+			// retransmission will request full replies from everyone).
+		}
+	}
+}
+
+func (c *Client) verifyReply(rep *message.Reply) bool {
+	if c.mode == ModePK {
+		pub, ok := c.dir.PublicKey(rep.Replica)
+		if !ok || rep.Auth.Kind != message.AuthSig {
+			return false
+		}
+		return crypto.Verify(pub, rep.Payload(), rep.Auth.Sig)
+	}
+	if rep.Auth.Kind != message.AuthMAC {
+		return false
+	}
+	return c.ks.CheckPointMAC(uint32(rep.Replica), rep.Payload(), rep.Auth.MAC)
+}

@@ -1,0 +1,238 @@
+// Package pbft implements the BFT state-machine replication protocol family
+// of Castro & Liskov: BFT-PK (Chapter 2, public-key signatures), BFT
+// (Chapter 3, MAC authenticators with the PSet/QSet view change), and BFT-PR
+// (Chapter 4, proactive recovery), together with the implementation
+// techniques of Chapter 5 — digest replies, tentative execution, read-only
+// operations, request batching, separate request transmission, status-based
+// retransmission, hierarchical checkpointing and state transfer, and
+// non-determinism agreement.
+//
+// One replica is one goroutine: the event loop owns all protocol state and
+// consumes datagrams and timer ticks from channels, mirroring the
+// I/O-automaton structure of the thesis's implementation (§6.1).
+package pbft
+
+import (
+	"crypto/ed25519"
+	"time"
+
+	"repro/internal/message"
+)
+
+// Mode selects the authentication flavor of the protocol.
+type Mode int
+
+// Protocol modes.
+const (
+	// ModeMAC is BFT (Chapter 3): authenticators everywhere, signatures only
+	// for new-key and recovery messages.
+	ModeMAC Mode = iota
+	// ModePK is BFT-PK (Chapter 2): every message carries a signature.
+	ModePK
+)
+
+func (m Mode) String() string {
+	if m == ModePK {
+		return "BFT-PK"
+	}
+	return "BFT"
+}
+
+// Options toggles the Chapter 5 optimizations independently so the ablation
+// experiment (§8.3.3) can measure each one's impact.
+type Options struct {
+	// DigestReplies: only the designated replier returns the full result
+	// (§5.1.1).
+	DigestReplies bool
+	// TentativeExec: execute once prepared, overlap commit with reply
+	// (§5.1.2).
+	TentativeExec bool
+	// ReadOnly: clients may multicast read-only requests answered in a
+	// single round trip (§5.1.3).
+	ReadOnly bool
+	// Batching: assign one sequence number to a batch of requests under
+	// load (§5.1.4).
+	Batching bool
+	// MaxBatch bounds requests per batch (the implementation's 16-digest
+	// limit).
+	MaxBatch int
+	// Window bounds protocol instances running in parallel (the
+	// sliding-window of §5.1.4).
+	Window int
+	// SeparateRequests: requests larger than InlineThreshold travel
+	// directly from client to all replicas and only their digests ride in
+	// pre-prepares (§5.1.5).
+	SeparateRequests bool
+	// InlineThreshold is the size cutoff for inlining (thesis: 255 bytes).
+	InlineThreshold int
+}
+
+// DefaultOptions enables everything, like the thesis's BFT configuration.
+func DefaultOptions() Options {
+	return Options{
+		DigestReplies:    true,
+		TentativeExec:    true,
+		ReadOnly:         true,
+		Batching:         true,
+		MaxBatch:         16,
+		Window:           8,
+		SeparateRequests: true,
+		InlineThreshold:  255,
+	}
+}
+
+// Behavior selects a fault-injection personality for a replica.
+type Behavior int
+
+// Fault-injection behaviors.
+const (
+	// Correct follows the protocol.
+	Correct Behavior = iota
+	// Crashed ignores every message (fail-stop).
+	Crashed
+	// SilentPrimary follows the protocol except that it never sends
+	// pre-prepares while primary, forcing view changes.
+	SilentPrimary
+	// ConflictingPrimary sends pre-prepares that assign the same sequence
+	// number to different batches for different backups (a Byzantine
+	// primary; safety must still hold).
+	ConflictingPrimary
+	// CorruptDigest sends prepare/commit messages with corrupted digests.
+	CorruptDigest
+	// WrongResult executes correctly but replies to clients with corrupted
+	// results (clients must mask it with their reply certificates).
+	WrongResult
+)
+
+// Config parameterizes one replica.
+type Config struct {
+	// ID is this replica's identity, 0..N-1.
+	ID message.NodeID
+	// N is the group size; the protocol tolerates f = (N-1)/3 faults.
+	N int
+	// Mode selects BFT or BFT-PK authentication.
+	Mode Mode
+	// Opt toggles the Chapter 5 optimizations.
+	Opt Options
+
+	// CheckpointInterval is K: checkpoints are taken when a batch with
+	// sequence number divisible by K executes (§2.3.4).
+	CheckpointInterval message.Seq
+	// LogWindow is L, the width of the water-mark window (thesis: 2K).
+	LogWindow message.Seq
+
+	// ViewChangeTimeout is the initial timeout before a backup suspects the
+	// primary; it doubles for consecutive view changes (§2.3.5).
+	ViewChangeTimeout time.Duration
+	// StatusInterval is the period of status multicasts (§5.2).
+	StatusInterval time.Duration
+	// IdleStatus suppresses status messages while nothing is missing.
+	// (Always on; field kept for tests that want chatter.)
+	ChattyStatus bool
+
+	// StateSize and PageSize shape the service memory region; Fanout shapes
+	// the partition tree (§5.3.1).
+	StateSize int
+	PageSize  int
+	Fanout    int
+
+	// Proactive recovery (Chapter 4). Recovery runs when the watchdog
+	// fires (WatchdogInterval > 0) or when Replica.Recover is called.
+	KeyRefreshInterval time.Duration
+	WatchdogInterval   time.Duration
+
+	// QSetBound, when positive, bounds the number of (digest, view) pairs
+	// retained per sequence number in the QSet — the bounded-space view
+	// change of §3.2.5 (the thesis suggests a small constant like 2). Zero
+	// keeps the unbounded base protocol. The bound discards the lowest-view
+	// pair; the full not-committed (NCSet) machinery §3.2.5 adds to
+	// preserve liveness under adversarial repeated view changes is not
+	// reproduced (documented deviation).
+	QSetBound int
+
+	// Behavior injects a fault personality.
+	Behavior Behavior
+
+	// Seed drives the replica's private PRNG.
+	Seed int64
+}
+
+// Validate applies defaults and sanity checks.
+func (c *Config) Validate() {
+	if c.N < 4 {
+		c.N = 4
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 128
+	}
+	if c.LogWindow == 0 {
+		c.LogWindow = 2 * c.CheckpointInterval
+	}
+	if c.ViewChangeTimeout == 0 {
+		c.ViewChangeTimeout = 250 * time.Millisecond
+	}
+	if c.StatusInterval == 0 {
+		c.StatusInterval = 50 * time.Millisecond
+	}
+	if c.StateSize == 0 {
+		c.StateSize = 1 << 16
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 16
+	}
+	if c.Opt.MaxBatch == 0 {
+		c.Opt.MaxBatch = 16
+	}
+	if c.Opt.Window == 0 {
+		c.Opt.Window = 8
+	}
+	if c.Opt.InlineThreshold == 0 {
+		c.Opt.InlineThreshold = 255
+	}
+}
+
+// F returns the fault threshold (N-1)/3.
+func (c *Config) F() int { return (c.N - 1) / 3 }
+
+// Directory is the public-key and identity registry shared by all
+// principals — the role the read-only memory plays in §4.2.
+type Directory struct {
+	n    int
+	keys map[message.NodeID]ed25519.PublicKey
+}
+
+// NewDirectory creates a directory for n replicas.
+func NewDirectory(n int) *Directory {
+	return &Directory{n: n, keys: make(map[message.NodeID]ed25519.PublicKey)}
+}
+
+// N returns the replica group size.
+func (d *Directory) N() int { return d.n }
+
+// ReplicaIDs returns the group's replica ids.
+func (d *Directory) ReplicaIDs() []message.NodeID {
+	ids := make([]message.NodeID, d.n)
+	for i := range ids {
+		ids[i] = message.NodeID(i)
+	}
+	return ids
+}
+
+// Register records a principal's public key.
+func (d *Directory) Register(id message.NodeID, pub ed25519.PublicKey) {
+	d.keys[id] = pub
+}
+
+// PublicKey returns a principal's public key.
+func (d *Directory) PublicKey(id message.NodeID) (ed25519.PublicKey, bool) {
+	k, ok := d.keys[id]
+	return k, ok
+}
+
+// Primary returns the primary of view v: p = v mod |R| (§2.3).
+func (d *Directory) Primary(v message.View) message.NodeID {
+	return message.NodeID(uint64(v) % uint64(d.n))
+}

@@ -1,0 +1,237 @@
+package pbft
+
+// Unit tests for the new-view decision procedure (Fig 3-3) over synthetic
+// view-change sets: the safety conditions A1/A2/B in isolation, without a
+// live cluster.
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/kvservice"
+	"repro/internal/message"
+)
+
+// mkReplicaForDecision builds a standalone replica (n=4) for calling
+// runDecision directly.
+func mkReplicaForDecision(t *testing.T) (*Replica, *Cluster) {
+	t.Helper()
+	c := NewLocalCluster(4, testConfig(), kvservice.Factory, nil)
+	// No Start(): runDecision is a pure function of its input.
+	t.Cleanup(func() {
+		for _, r := range c.Replicas {
+			r.trans.Close()
+		}
+		c.Net.Close()
+	})
+	return c.Replica(0), c
+}
+
+// vcFrom builds a synthetic view-change message.
+func vcFrom(id message.NodeID, nv message.View, h message.Seq,
+	ckpts []message.CkptInfo, p []message.PInfo, q []message.QInfo) *message.ViewChange {
+	return &message.ViewChange{
+		NewView: nv, H: h, Ckpts: ckpts, P: p, Q: q, Replica: id,
+	}
+}
+
+func ckptAt(seq message.Seq, tag string) message.CkptInfo {
+	return message.CkptInfo{Seq: seq, Digest: crypto.DigestOf([]byte(tag))}
+}
+
+func TestDecisionNeedsQuorum(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	S := map[message.NodeID]*message.ViewChange{
+		0: vcFrom(0, 1, 0, []message.CkptInfo{ckptAt(0, "c0")}, nil, nil),
+		1: vcFrom(1, 1, 0, []message.CkptInfo{ckptAt(0, "c0")}, nil, nil),
+	}
+	if dec := r.runDecision(S); dec.ok {
+		t.Fatal("decision succeeded with only 2 view-changes (quorum is 3)")
+	}
+}
+
+func TestDecisionEmptyLogsChooseCheckpointZero(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	S := map[message.NodeID]*message.ViewChange{}
+	for i := message.NodeID(0); i < 4; i++ {
+		S[i] = vcFrom(i, 1, 0, []message.CkptInfo{ckptAt(0, "c0")}, nil, nil)
+	}
+	dec := r.runDecision(S)
+	if !dec.ok || dec.ckptSeq != 0 || len(dec.x) != 0 {
+		t.Fatalf("decision %+v, want empty start at checkpoint 0", dec)
+	}
+}
+
+func TestDecisionPicksHighestSupportedCheckpoint(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	// Three replicas advanced to checkpoint 128; one lags at 0. The f+1
+	// weak certificate and 2f+1 reachability both exist for 128.
+	S := map[message.NodeID]*message.ViewChange{}
+	for i := message.NodeID(0); i < 3; i++ {
+		S[i] = vcFrom(i, 1, 128,
+			[]message.CkptInfo{ckptAt(128, "c128")}, nil, nil)
+	}
+	S[3] = vcFrom(3, 1, 0, []message.CkptInfo{ckptAt(0, "c0")}, nil, nil)
+	dec := r.runDecision(S)
+	if !dec.ok || dec.ckptSeq != 128 {
+		t.Fatalf("chose checkpoint %d, want 128 (%+v)", dec.ckptSeq, dec)
+	}
+}
+
+func TestDecisionCheckpointNeedsWeakCert(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	// Only ONE replica claims checkpoint 128: no weak certificate, so the
+	// decision must fall back to checkpoint 0.
+	S := map[message.NodeID]*message.ViewChange{
+		0: vcFrom(0, 1, 0, []message.CkptInfo{ckptAt(0, "c0"), ckptAt(128, "c128")}, nil, nil),
+	}
+	for i := message.NodeID(1); i < 4; i++ {
+		S[i] = vcFrom(i, 1, 0, []message.CkptInfo{ckptAt(0, "c0")}, nil, nil)
+	}
+	dec := r.runDecision(S)
+	if !dec.ok || dec.ckptSeq != 0 {
+		t.Fatalf("checkpoint %d chosen without weak cert (%+v)", dec.ckptSeq, dec)
+	}
+}
+
+func TestDecisionSelectsPreparedRequest(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	d := crypto.DigestOf([]byte("batch-5"))
+	// Request d prepared at seq 5 in view 0 at two correct replicas; a
+	// third has no P entry (it never prepared it). A1 holds (everyone's
+	// entries are consistent), A2 holds (f+1=2 Q entries vouch).
+	pEntry := []message.PInfo{{Seq: 5, Digest: d, View: 0}}
+	qEntry := []message.QInfo{{Seq: 5, Entries: []message.DV{{Digest: d, View: 0}}}}
+	ck := []message.CkptInfo{ckptAt(0, "c0")}
+	S := map[message.NodeID]*message.ViewChange{
+		0: vcFrom(0, 1, 0, ck, pEntry, qEntry),
+		1: vcFrom(1, 1, 0, ck, pEntry, qEntry),
+		2: vcFrom(2, 1, 0, ck, nil, nil),
+		3: vcFrom(3, 1, 0, ck, nil, nil),
+	}
+	dec := r.runDecision(S)
+	if !dec.ok {
+		t.Fatalf("no decision: %+v", dec)
+	}
+	if len(dec.x) != 5 {
+		t.Fatalf("X covers %d seqs, want 5 (nulls up to the selection)", len(dec.x))
+	}
+	if dec.x[4].Seq != 5 || dec.x[4].Digest != d {
+		t.Fatalf("seq 5 selected %v, want the prepared digest", dec.x[4])
+	}
+	for i := 0; i < 4; i++ {
+		if !dec.x[i].Digest.IsZero() {
+			t.Fatalf("seq %d should be null", i+1)
+		}
+	}
+}
+
+func TestDecisionRejectsUnvouchedPrepared(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	d := crypto.DigestOf([]byte("fabricated"))
+	// A single (possibly faulty) replica claims request d prepared at seq 3
+	// but NO ONE (including itself) has a Q entry vouching it pre-prepared:
+	// condition A2 must reject it, and with 2f+1 no-P-entry messages the
+	// null request wins.
+	pEntry := []message.PInfo{{Seq: 3, Digest: d, View: 0}}
+	ck := []message.CkptInfo{ckptAt(0, "c0")}
+	S := map[message.NodeID]*message.ViewChange{
+		0: vcFrom(0, 1, 0, ck, pEntry, nil),
+		1: vcFrom(1, 1, 0, ck, nil, nil),
+		2: vcFrom(2, 1, 0, ck, nil, nil),
+		3: vcFrom(3, 1, 0, ck, nil, nil),
+	}
+	dec := r.runDecision(S)
+	if !dec.ok {
+		t.Fatalf("no decision: %+v", dec)
+	}
+	for _, x := range dec.x {
+		if x.Seq == 3 && !x.Digest.IsZero() {
+			t.Fatal("fabricated prepared certificate selected without A2 support")
+		}
+	}
+}
+
+func TestDecisionHigherViewWins(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	dOld := crypto.DigestOf([]byte("old"))
+	dNew := crypto.DigestOf([]byte("new"))
+	ck := []message.CkptInfo{ckptAt(0, "c0")}
+	// Seq 2 prepared as dOld in view 0 at one replica, and as dNew in view
+	// 2 at another (a later view change re-prepared it). The view-2
+	// certificate must win (A1's view comparison).
+	S := map[message.NodeID]*message.ViewChange{
+		0: vcFrom(0, 3, 0, ck,
+			[]message.PInfo{{Seq: 2, Digest: dOld, View: 0}},
+			[]message.QInfo{{Seq: 2, Entries: []message.DV{{Digest: dOld, View: 0}}}}),
+		1: vcFrom(1, 3, 0, ck,
+			[]message.PInfo{{Seq: 2, Digest: dNew, View: 2}},
+			[]message.QInfo{{Seq: 2, Entries: []message.DV{{Digest: dNew, View: 2}}}}),
+		2: vcFrom(2, 3, 0, ck, nil,
+			[]message.QInfo{{Seq: 2, Entries: []message.DV{{Digest: dNew, View: 2}}}}),
+		3: vcFrom(3, 3, 0, ck, nil, nil),
+	}
+	dec := r.runDecision(S)
+	if !dec.ok {
+		t.Fatalf("no decision: %+v", dec)
+	}
+	var got crypto.Digest
+	for _, x := range dec.x {
+		if x.Seq == 2 {
+			got = x.Digest
+		}
+	}
+	if got != dNew {
+		t.Fatalf("seq 2 chose %v, want the later-view certificate", got)
+	}
+}
+
+func TestDecisionUndecidableWaits(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	d := crypto.DigestOf([]byte("contested"))
+	ck := []message.CkptInfo{ckptAt(0, "c0")}
+	// One replica claims seq 1 prepared but A2 has only 1 vouch (need f+1=2)
+	// and B has only 2 no-entry messages (need 2f+1=3): undecidable — the
+	// primary must wait for more view-changes rather than guess.
+	S := map[message.NodeID]*message.ViewChange{
+		0: vcFrom(0, 1, 0, ck,
+			[]message.PInfo{{Seq: 1, Digest: d, View: 0}},
+			[]message.QInfo{{Seq: 1, Entries: []message.DV{{Digest: d, View: 0}}}}),
+		1: vcFrom(1, 1, 0, ck,
+			[]message.PInfo{{Seq: 1, Digest: d, View: 0}}, nil),
+		2: vcFrom(2, 1, 0, ck, nil, nil),
+		3: vcFrom(3, 1, 0, ck, nil, nil),
+	}
+	dec := r.runDecision(S)
+	if dec.ok {
+		// If it decided, seq 1 must be d (the only safe choice) — never null.
+		for _, x := range dec.x {
+			if x.Seq == 1 && x.Digest.IsZero() {
+				t.Fatal("chose null for a possibly-committed request")
+			}
+		}
+	}
+}
+
+func TestDecisionCommittedRequestNeverNull(t *testing.T) {
+	r, _ := mkReplicaForDecision(t)
+	d := crypto.DigestOf([]byte("committed"))
+	ck := []message.CkptInfo{ckptAt(0, "c0")}
+	// A committed request prepared at 2f+1 = 3 replicas. Any valid decision
+	// over any quorum including these messages must select d at seq 1.
+	pe := []message.PInfo{{Seq: 1, Digest: d, View: 0}}
+	qe := []message.QInfo{{Seq: 1, Entries: []message.DV{{Digest: d, View: 0}}}}
+	S := map[message.NodeID]*message.ViewChange{
+		0: vcFrom(0, 1, 0, ck, pe, qe),
+		1: vcFrom(1, 1, 0, ck, pe, qe),
+		2: vcFrom(2, 1, 0, ck, pe, qe),
+		3: vcFrom(3, 1, 0, ck, nil, nil), // the faulty/slow one
+	}
+	dec := r.runDecision(S)
+	if !dec.ok {
+		t.Fatalf("no decision: %+v", dec)
+	}
+	if len(dec.x) == 0 || dec.x[0].Seq != 1 || dec.x[0].Digest != d {
+		t.Fatalf("committed request not selected: %+v", dec.x)
+	}
+}

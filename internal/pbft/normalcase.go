@@ -1,0 +1,914 @@
+package pbft
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/message"
+	"repro/internal/vlog"
+)
+
+// smallResultThreshold disables digest replies for tiny results (§5.1.1:
+// "not used for very small replies; the threshold is 32 bytes").
+const smallResultThreshold = 32
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+func (r *Replica) onRequest(req *message.Request) {
+	client := req.Client
+	if !client.IsClient() && !req.Recovery() {
+		return // only recovery requests may originate from replicas
+	}
+
+	// Exactly-once: replay the cached reply for the last executed timestamp,
+	// drop anything older (§2.3.3).
+	if cr, ok := r.replyCache[client]; ok {
+		if req.Timestamp < cr.timestamp {
+			return
+		}
+		if req.Timestamp == cr.timestamp {
+			r.resendCachedReply(client)
+			return
+		}
+	}
+
+	// Read-only optimization (§5.1.3): execute immediately once the state
+	// reflects only committed requests.
+	if req.ReadOnly() && r.cfg.Opt.ReadOnly && !req.Recovery() {
+		if r.service.IsReadOnly(req.Op) {
+			r.roQueue = append(r.roQueue, req)
+			r.drainReadOnly()
+		}
+		return
+	}
+
+	d := req.Digest()
+	isNew := !r.log.HasRequest(d)
+	r.log.StoreRequest(req)
+	r.enqueueRequest(client, d)
+
+	if req.Recovery() {
+		r.noteRecoveryRequest(req)
+	}
+
+	if r.vc.pending && r.primary(r.view) == r.id {
+		// A newly-arrived body may satisfy condition A3 (§3.2.4).
+		r.runPrimaryDecision()
+	}
+	if r.isPrimary() && r.active {
+		r.tryIssuePrePrepares()
+	} else if isNew {
+		// Relay to the primary (it may not have received it) and arm the
+		// view-change timer: we are now waiting for this request (§2.3.5).
+		r.sendRaw(r.primary(r.view), req)
+	}
+	r.updateVCTimer()
+
+	// A request body arriving may unblock a buffered pre-prepare (§5.1.5).
+	r.retryWaitingPrePrepares()
+}
+
+// enqueueRequest keeps a FIFO queue with only the newest request per client
+// (§5.5 fairness).
+func (r *Replica) enqueueRequest(client message.NodeID, d crypto.Digest) {
+	if old, ok := r.queuedByCli[client]; ok {
+		if old == d {
+			return
+		}
+		for i, q := range r.queue {
+			if q == old {
+				r.queue = append(r.queue[:i], r.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	r.queuedByCli[client] = d
+	r.queue = append(r.queue, d)
+}
+
+// dequeueExecuted removes a request from the queue once it executes.
+func (r *Replica) dequeueExecuted(client message.NodeID, d crypto.Digest) {
+	if old, ok := r.queuedByCli[client]; ok && old == d {
+		delete(r.queuedByCli, client)
+		for i, q := range r.queue {
+			if q == d {
+				r.queue = append(r.queue[:i], r.queue[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (r *Replica) resendCachedReply(client message.NodeID) {
+	cr := r.replyCache[client]
+	if cr == nil {
+		return
+	}
+	rep := &message.Reply{
+		View:         r.view,
+		Timestamp:    cr.timestamp,
+		Client:       client,
+		Replica:      r.id,
+		Tentative:    cr.tentative,
+		HasResult:    true,
+		Result:       cr.result,
+		ResultDigest: crypto.DigestOf(cr.result),
+	}
+	r.sendTo(client, rep)
+}
+
+// ---------------------------------------------------------------------------
+// Primary: batching and pre-prepare issue (§5.1.4, §5.1.5)
+// ---------------------------------------------------------------------------
+
+func (r *Replica) tryIssuePrePrepares() {
+	if r.cfg.Behavior == SilentPrimary {
+		return
+	}
+	if !r.isPrimary() || !r.active || r.vc.pending {
+		return
+	}
+	for len(r.queue) > 0 {
+		// Sliding window: o - e < W (§5.1.4).
+		if r.seqno >= r.lastExec+message.Seq(r.cfg.Opt.Window) {
+			return
+		}
+		if r.seqno >= r.log.High() {
+			return // water marks full; wait for a stable checkpoint
+		}
+		batch := r.takeBatch()
+		if len(batch) == 0 {
+			return
+		}
+		r.issueBatch(batch)
+	}
+}
+
+// takeBatch pops up to MaxBatch requests off the queue (1 if batching off).
+func (r *Replica) takeBatch() []*message.Request {
+	maxN := 1
+	if r.cfg.Opt.Batching {
+		maxN = r.cfg.Opt.MaxBatch
+	}
+	var batch []*message.Request
+	for len(batch) < maxN && len(r.queue) > 0 {
+		d := r.queue[0]
+		r.queue = r.queue[1:]
+		req, ok := r.log.Request(d)
+		if !ok {
+			continue
+		}
+		delete(r.queuedByCli, req.Client)
+		// Skip anything already executed (duplicate arrivals).
+		if cr, ok := r.replyCache[req.Client]; ok && req.Timestamp <= cr.timestamp {
+			continue
+		}
+		// Skip requests already assigned to a live slot (a retransmission
+		// arriving while the first assignment is still in flight).
+		if r.requestAssigned(d) {
+			continue
+		}
+		batch = append(batch, req)
+	}
+	return batch
+}
+
+// requestAssigned reports whether a request digest already rides in some
+// live slot's batch.
+func (r *Replica) requestAssigned(d crypto.Digest) bool {
+	assigned := false
+	r.log.Slots(func(s *vlog.Slot) {
+		if assigned || s.PrePrepare == nil || s.Executed {
+			return
+		}
+		for i := range s.PrePrepare.Inline {
+			if s.PrePrepare.Inline[i].Digest() == d {
+				assigned = true
+				return
+			}
+		}
+		for _, dd := range s.PrePrepare.Digests {
+			if dd == d {
+				assigned = true
+				return
+			}
+		}
+	})
+	return assigned
+}
+
+func (r *Replica) issueBatch(batch []*message.Request) {
+	r.seqno++
+	seq := r.seqno
+	pp := r.buildPrePrepare(r.view, seq, batch)
+
+	if r.cfg.Behavior == ConflictingPrimary {
+		r.issueConflicting(pp, batch)
+		return
+	}
+
+	r.multicastReplicas(pp)
+	r.acceptPrePrepare(pp)
+}
+
+// buildPrePrepare splits a batch into inline requests and digests of
+// separately-transmitted ones, and attaches the non-deterministic choice.
+func (r *Replica) buildPrePrepare(v message.View, seq message.Seq, batch []*message.Request) *message.PrePrepare {
+	pp := &message.PrePrepare{View: v, Seq: seq, Replica: r.id, NonDet: r.service.ProposeNonDet()}
+	for _, req := range batch {
+		if r.cfg.Opt.SeparateRequests && len(req.Op) > r.cfg.Opt.InlineThreshold {
+			pp.Digests = append(pp.Digests, req.Digest())
+		} else {
+			pp.Inline = append(pp.Inline, *req)
+		}
+	}
+	return pp
+}
+
+// issueConflicting is the Byzantine-primary personality: half the backups
+// receive a pre-prepare for the real batch, the other half one with a
+// different non-deterministic value (hence a different digest) for the same
+// sequence number. Safety demands that at most one of them ever commits.
+func (r *Replica) issueConflicting(pp *message.PrePrepare, batch []*message.Request) {
+	alt := r.buildPrePrepare(pp.View, pp.Seq, batch)
+	alt.NonDet = append([]byte("evil-"), alt.NonDet...)
+	r.authMulticast(pp)
+	r.authMulticast(alt)
+	ids := r.replicaIDs()
+	for i, id := range ids {
+		if id == r.id {
+			continue
+		}
+		if i%2 == 0 {
+			r.trans.Send(id, pp.Marshal())
+		} else {
+			r.trans.Send(id, alt.Marshal())
+		}
+	}
+	r.acceptPrePrepare(pp)
+}
+
+// ---------------------------------------------------------------------------
+// Backups: pre-prepare / prepare / commit
+// ---------------------------------------------------------------------------
+
+func (r *Replica) onPrePrepare(pp *message.PrePrepare) {
+	if pp.Replica != r.primary(pp.View) || pp.Replica == r.id {
+		return
+	}
+	if !r.inWV(pp.View, pp.Seq) || !r.active || r.vc.pending {
+		return
+	}
+	slot := r.log.Slot(pp.Seq)
+	if slot == nil {
+		return
+	}
+	if slot.HasDigest {
+		// The slot's digest is already fixed — either by an earlier
+		// pre-prepare or by a new-view decision. A matching body fills the
+		// slot; a conflicting one is ignored.
+		if slot.PrePrepare == nil && pp.View == slot.View && pp.BatchDigest() == slot.Digest {
+			r.fillSlotBody(pp, slot)
+		}
+		return
+	}
+	// Backups validate the primary's non-deterministic choice (§5.4).
+	if !r.service.CheckNonDet(pp.NonDet) {
+		return
+	}
+	// Store verified inline request bodies (their per-request authenticators
+	// were checked by requestAuthOK below, via the group authenticator on
+	// the pre-prepare plus per-request checks).
+	if !r.requestAuthOK(pp, slot) {
+		return
+	}
+	if !r.haveSeparateBodies(pp) {
+		// Buffer until the client's separate transmission arrives (§5.1.5).
+		r.waitingPP[pp.Seq] = pp
+		return
+	}
+	r.acceptBackupPrePrepare(pp, slot)
+}
+
+// requestAuthOK applies the three request-authentication conditions of
+// §3.2.2 to every inline request in the batch.
+func (r *Replica) requestAuthOK(pp *message.PrePrepare, slot *vlog.Slot) bool {
+	if r.cfg.Mode == ModePK {
+		for i := range pp.Inline {
+			req := &pp.Inline[i]
+			if !r.verifySig(req) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range pp.Inline {
+		req := &pp.Inline[i]
+		if req.Recovery() {
+			if !r.verifySig(req) {
+				return false
+			}
+			continue
+		}
+		// Condition 1: the MAC for us in the request's authenticator.
+		r.ensurePeerKeys(req.Client)
+		if req.Auth.Kind == message.AuthVector &&
+			r.ks.CheckAuthenticator(uint32(req.Client), req.Payload(), req.Auth.Vector) {
+			continue
+		}
+		// Condition 3: we already hold an authenticated copy.
+		if r.log.HasRequest(req.Digest()) {
+			continue
+		}
+		// Condition 2: f prepares carrying this batch digest vouch for it.
+		if slot.PrepareDigestCount(pp.BatchDigest()) >= r.f {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// haveSeparateBodies reports whether every separately-transmitted request in
+// the batch is in the store (null digests count as present).
+func (r *Replica) haveSeparateBodies(pp *message.PrePrepare) bool {
+	for _, d := range pp.Digests {
+		if d.IsZero() {
+			continue
+		}
+		if !r.log.HasRequest(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// retryWaitingPrePrepares re-processes buffered pre-prepares whose request
+// bodies may have arrived.
+func (r *Replica) retryWaitingPrePrepares() {
+	for seq, pp := range r.waitingPP {
+		if !r.inWV(pp.View, seq) {
+			delete(r.waitingPP, seq)
+			continue
+		}
+		if !r.haveSeparateBodies(pp) {
+			continue
+		}
+		delete(r.waitingPP, seq)
+		slot := r.log.Slot(seq)
+		if slot == nil {
+			continue
+		}
+		switch {
+		case slot.HasDigest:
+			if slot.PrePrepare == nil && pp.View == slot.View && pp.BatchDigest() == slot.Digest {
+				r.fillSlotBody(pp, slot)
+			}
+		case r.requestAuthOK(pp, slot):
+			r.acceptBackupPrePrepare(pp, slot)
+		}
+	}
+}
+
+// fillSlotBody supplies the batch body for a slot whose digest was fixed by
+// a new-view decision (the re-issued pre-prepare needs no per-request
+// authentication: condition A2 already vouched for the batch).
+func (r *Replica) fillSlotBody(pp *message.PrePrepare, slot *vlog.Slot) {
+	for i := range pp.Inline {
+		r.log.StoreRequest(&pp.Inline[i])
+	}
+	if !r.haveSeparateBodies(pp) {
+		r.waitingPP[pp.Seq] = pp
+		return
+	}
+	slot.PrePrepare = pp
+	r.rememberBatch(pp)
+	r.executeForward()
+}
+
+// acceptBackupPrePrepare logs the pre-prepare and enters the prepare phase.
+func (r *Replica) acceptBackupPrePrepare(pp *message.PrePrepare, slot *vlog.Slot) {
+	for i := range pp.Inline {
+		r.log.StoreRequest(&pp.Inline[i])
+		r.enqueueRequest(pp.Inline[i].Client, pp.Inline[i].Digest())
+	}
+	slot.AddPrePrepare(pp)
+	slot.PrePrepared = true
+	r.rememberBatch(pp)
+	r.updateVCTimer()
+
+	if !slot.SentPrepare {
+		slot.SentPrepare = true
+		prep := &message.Prepare{View: pp.View, Seq: pp.Seq, Digest: slot.Digest, Replica: r.id}
+		r.multicastReplicas(prep)
+		slot.AddPrepare(r.id, pp.View, slot.Digest)
+	}
+	r.progressSlot(slot)
+}
+
+// acceptPrePrepare is the primary-side acceptance of its own pre-prepare.
+func (r *Replica) acceptPrePrepare(pp *message.PrePrepare) {
+	slot := r.log.Slot(pp.Seq)
+	if slot == nil {
+		return
+	}
+	for i := range pp.Inline {
+		r.log.StoreRequest(&pp.Inline[i])
+	}
+	slot.AddPrePrepare(pp)
+	slot.PrePrepared = true
+	r.rememberBatch(pp)
+	r.progressSlot(slot)
+}
+
+func (r *Replica) onPrepare(p *message.Prepare) {
+	if p.Replica == r.primary(p.View) {
+		return // primaries never send prepares (§2.3.3)
+	}
+	if !r.inWV(p.View, p.Seq) {
+		return
+	}
+	slot := r.log.Slot(p.Seq)
+	if slot == nil {
+		return
+	}
+	slot.AddPrepare(p.Replica, p.View, p.Digest)
+	// A prepare may satisfy request-auth condition 2 for a buffered
+	// pre-prepare.
+	if pp, ok := r.waitingPP[p.Seq]; ok && !slot.HasDigest && r.haveSeparateBodies(pp) {
+		if r.requestAuthOK(pp, slot) {
+			delete(r.waitingPP, p.Seq)
+			r.acceptBackupPrePrepare(pp, slot)
+			return
+		}
+	}
+	r.progressSlot(slot)
+}
+
+func (r *Replica) onCommit(c *message.Commit) {
+	if c.View > r.view || !r.log.InWindow(c.Seq) {
+		return
+	}
+	slot := r.log.Slot(c.Seq)
+	if slot == nil {
+		return
+	}
+	slot.AddCommit(c.Replica, c.View, c.Digest)
+	r.progressSlot(slot)
+}
+
+// progressSlot advances a slot through prepared → committed and triggers
+// execution.
+func (r *Replica) progressSlot(slot *vlog.Slot) {
+	if slot.PrePrepare == nil {
+		return
+	}
+	p := r.primary(slot.View)
+	if r.log.CheckPrepared(slot, p) && !slot.SentCommit {
+		slot.SentCommit = true
+		cm := &message.Commit{View: slot.View, Seq: slot.Seq, Digest: slot.Digest, Replica: r.id}
+		r.multicastReplicas(cm)
+		slot.AddCommit(r.id, slot.View, slot.Digest)
+	}
+	r.log.CheckCommitted(slot, p)
+	r.executeForward()
+}
+
+// ---------------------------------------------------------------------------
+// Execution (§2.3.3, §5.1.2)
+// ---------------------------------------------------------------------------
+
+// executeForward executes committed batches in order, tentatively executes
+// prepared batches when permitted, and finalizes tentative executions whose
+// commits completed.
+func (r *Replica) executeForward() {
+	for {
+		progress := false
+
+		// Finalize tentative executions that have since committed.
+		for r.lastCommitted < r.lastExec {
+			s, ok := r.log.Peek(r.lastCommitted + 1)
+			if !ok || !r.log.CheckCommitted(s, r.primary(s.View)) {
+				break
+			}
+			r.finalizeBatch(s)
+			progress = true
+		}
+
+		// Execute the next batch.
+		next := r.lastExec + 1
+		s, ok := r.log.Peek(next)
+		if ok && s.PrePrepare != nil && r.haveSeparateBodies(s.PrePrepare) {
+			if r.log.CheckCommitted(s, r.primary(s.View)) {
+				r.execBatch(s, false)
+				progress = true
+			} else if r.cfg.Opt.TentativeExec && r.active && !r.vc.pending &&
+				!r.rec.inRecovery &&
+				r.lastExec == r.lastCommitted &&
+				r.log.CheckPrepared(s, r.primary(s.View)) {
+				r.execBatch(s, true)
+				progress = true
+			}
+		}
+
+		if !progress {
+			break
+		}
+	}
+	r.drainReadOnly()
+	r.updateVCTimer()
+	if r.isPrimary() {
+		r.tryIssuePrePrepares()
+	}
+}
+
+// batchRequests resolves the bodies of every request in a batch, in order.
+// Null digests yield nil entries.
+func (r *Replica) batchRequests(pp *message.PrePrepare) []*message.Request {
+	out := make([]*message.Request, 0, len(pp.Inline)+len(pp.Digests))
+	for i := range pp.Inline {
+		out = append(out, &pp.Inline[i])
+	}
+	for _, d := range pp.Digests {
+		if d.IsZero() {
+			out = append(out, nil)
+			continue
+		}
+		req, _ := r.log.Request(d)
+		out = append(out, req) // nil if missing (caller checked bodies)
+	}
+	return out
+}
+
+// execBatch executes every request of the batch at slot s against the
+// service state and replies to clients. tentative selects §5.1.2 semantics.
+func (r *Replica) execBatch(s *vlog.Slot, tentative bool) {
+	pp := s.PrePrepare
+	seq := s.Seq
+	for _, req := range r.batchRequests(pp) {
+		if req == nil {
+			continue // null request: no-op (§2.3.5)
+		}
+		r.execOne(req, pp.NonDet, tentative, seq)
+	}
+	r.lastExec = seq
+	r.execRecords[seq] = execRecord{digest: s.Digest, tentative: tentative}
+	r.metrics.BatchesExecuted++
+	// Progress in the new view resets the exponential backoff (§2.3.5).
+	r.vc.waitTimeout = 0
+	r.vcTimeout = r.cfg.ViewChangeTimeout
+	if tentative {
+		s.ExecutedTentative = true
+		r.metrics.TentativeExecs++
+	} else {
+		s.Executed = true
+		r.lastCommitted = seq
+	}
+
+	// Checkpoint right after (tentative) execution of a multiple of K; the
+	// checkpoint message goes out only once the batch commits (§5.1.2).
+	if seq%r.cfg.CheckpointInterval == 0 {
+		d := r.takeCheckpointNow(seq)
+		if tentative {
+			r.pendingCkpts[seq] = d
+		} else {
+			r.broadcastCheckpoint(seq, d)
+		}
+	}
+}
+
+// finalizeBatch upgrades a tentative execution to committed.
+func (r *Replica) finalizeBatch(s *vlog.Slot) {
+	s.Executed = true
+	r.lastCommitted = s.Seq
+	if rec, ok := r.execRecords[s.Seq]; ok {
+		rec.tentative = false
+		r.execRecords[s.Seq] = rec
+	}
+	// The batch's replies are no longer tentative.
+	if s.PrePrepare != nil {
+		for _, req := range r.batchRequests(s.PrePrepare) {
+			if req == nil {
+				continue
+			}
+			if cr, ok := r.replyCache[req.Client]; ok && cr.timestamp == req.Timestamp {
+				cr.tentative = false
+			}
+		}
+	}
+	if d, ok := r.pendingCkpts[s.Seq]; ok {
+		delete(r.pendingCkpts, s.Seq)
+		r.broadcastCheckpoint(s.Seq, d)
+	}
+}
+
+// execOne applies a single request and sends the reply.
+func (r *Replica) execOne(req *message.Request, nondet []byte, tentative bool, seq message.Seq) {
+	client := req.Client
+	d := req.Digest()
+	defer func() {
+		r.log.MarkRequestExecuted(d, seq)
+		r.dequeueExecuted(client, d)
+	}()
+
+	if cr, ok := r.replyCache[client]; ok && req.Timestamp <= cr.timestamp {
+		if req.Timestamp == cr.timestamp {
+			r.resendCachedReply(client)
+		}
+		return
+	}
+
+	var result []byte
+	if req.Recovery() {
+		result = r.executeRecoveryRequest(req, seq)
+	} else {
+		result = r.service.Execute(client, req.Op, nondet)
+	}
+	r.metrics.RequestsExecuted++
+	r.replyTo(req, result, tentative)
+}
+
+// replyTo builds, caches, and sends the reply for an executed request.
+func (r *Replica) replyTo(req *message.Request, result []byte, tentative bool) {
+	full := !r.cfg.Opt.DigestReplies ||
+		req.Replier == r.id || req.Replier == message.NoNode ||
+		len(result) <= smallResultThreshold
+
+	rep := &message.Reply{
+		View:         r.view,
+		Timestamp:    req.Timestamp,
+		Client:       req.Client,
+		Replica:      r.id,
+		Tentative:    tentative,
+		HasResult:    true,
+		Result:       result,
+		ResultDigest: crypto.DigestOf(result),
+	}
+	// Cache the canonical (timestamp, result) for retransmissions; the
+	// protocol envelope (view, tentative) is rebuilt when resending so the
+	// checkpointed reply cache is identical across replicas.
+	r.replyCache[req.Client] = &cachedReply{
+		timestamp: req.Timestamp, result: result, tentative: tentative}
+
+	send := rep
+	if !full {
+		slim := *rep
+		slim.HasResult = false
+		slim.Result = nil
+		send = &slim
+	}
+	r.sendTo(req.Client, send)
+}
+
+// drainReadOnly answers queued read-only requests once the state reflects
+// only committed execution (§5.1.3).
+func (r *Replica) drainReadOnly() {
+	if len(r.roQueue) == 0 || r.lastExec != r.lastCommitted {
+		return
+	}
+	q := r.roQueue
+	r.roQueue = nil
+	for _, req := range q {
+		result := r.service.Execute(req.Client, req.Op, nil)
+		rep := &message.Reply{
+			View:         r.view,
+			Timestamp:    req.Timestamp,
+			Client:       req.Client,
+			Replica:      r.id,
+			HasResult:    true,
+			Result:       result,
+			ResultDigest: crypto.DigestOf(result),
+		}
+		full := !r.cfg.Opt.DigestReplies ||
+			req.Replier == r.id || req.Replier == message.NoNode ||
+			len(result) <= smallResultThreshold
+		if !full {
+			rep.HasResult = false
+			rep.Result = nil
+		}
+		r.sendTo(req.Client, rep)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints and garbage collection (§2.3.4, §3.2.3)
+// ---------------------------------------------------------------------------
+
+// ckptDigest combines the partition-tree root and the reply-cache blob into
+// the digest carried by checkpoint messages.
+func ckptDigest(root crypto.Digest, extra []byte) crypto.Digest {
+	return crypto.DigestOf(root[:], extra)
+}
+
+// takeCheckpointNow snapshots the state and returns the checkpoint digest.
+func (r *Replica) takeCheckpointNow(seq message.Seq) crypto.Digest {
+	extra := r.marshalReplyCache()
+	snap := r.ckpt.Take(seq, extra)
+	r.metrics.CheckpointsTaken++
+	return ckptDigest(snap.Root, snap.Extra)
+}
+
+func (r *Replica) broadcastCheckpoint(seq message.Seq, d crypto.Digest) {
+	cp := &message.Checkpoint{Seq: seq, Digest: d, Replica: r.id}
+	r.multicastReplicas(cp)
+	r.addCkptVote(seq, r.id, d)
+	r.checkCkptStable(seq)
+}
+
+func (r *Replica) addCkptVote(seq message.Seq, from message.NodeID, d crypto.Digest) {
+	votes, ok := r.ckptVotes[seq]
+	if !ok {
+		votes = make(map[message.NodeID]crypto.Digest)
+		r.ckptVotes[seq] = votes
+	}
+	votes[from] = d
+}
+
+func (r *Replica) onCheckpoint(cp *message.Checkpoint) {
+	if cp.Seq <= r.log.Low() {
+		return
+	}
+	r.addCkptVote(cp.Seq, cp.Replica, cp.Digest)
+	r.checkCkptStable(cp.Seq)
+	r.maybeStartTransfer(cp.Seq)
+}
+
+// checkCkptStable makes a checkpoint stable when a quorum certifies a digest
+// matching our own snapshot (§3.2.3 requires a quorum, not a weak cert, so
+// other replicas can reconstruct proof during view changes).
+func (r *Replica) checkCkptStable(seq message.Seq) {
+	if seq <= r.log.Low() {
+		return
+	}
+	snap, ok := r.ckpt.Snapshot(seq)
+	if !ok {
+		return
+	}
+	mine := ckptDigest(snap.Root, snap.Extra)
+	votes := r.ckptVotes[seq]
+	n := 0
+	for _, d := range votes {
+		if d == mine {
+			n++
+		}
+	}
+	if n < r.log.Quorum() {
+		return
+	}
+	r.makeStable(seq)
+}
+
+// makeStable advances the low water mark and garbage collects (§2.3.4).
+func (r *Replica) makeStable(seq message.Seq) {
+	if seq <= r.log.Low() {
+		return
+	}
+	r.log.AdvanceLow(seq)
+	r.ckpt.DiscardBefore(seq)
+	for s := range r.ckptVotes {
+		if s <= seq {
+			delete(r.ckptVotes, s)
+		}
+	}
+	for s := range r.execRecords {
+		if s <= seq {
+			delete(r.execRecords, s)
+		}
+	}
+	for s := range r.pendingCkpts {
+		if s <= seq {
+			delete(r.pendingCkpts, s)
+		}
+	}
+	for s := range r.waitingPP {
+		if s <= seq {
+			delete(r.waitingPP, s)
+		}
+	}
+	r.metrics.StableCheckpoints++
+	r.pruneViewChangeSets(seq)
+	r.recoveryCheckpointStable(seq)
+	if r.isPrimary() {
+		r.tryIssuePrePrepares() // window advanced
+	}
+}
+
+// maybeStartTransfer reacts to a weak certificate for a checkpoint we have
+// not reached (§5.3.2). Once such a checkpoint is stable group-wide, the
+// other replicas discard every protocol message at or below it, so replay
+// may be impossible and the state itself is the only way to catch up. A
+// checkpoint beyond our window triggers the transfer immediately; one
+// within it becomes a candidate that fetchTick promotes only if ordinary
+// execution fails to reach it within a grace period (a replica lagging by
+// milliseconds must not thrash with spurious transfers).
+func (r *Replica) maybeStartTransfer(seq message.Seq) {
+	if seq <= r.ckpt.Latest().Seq || seq <= r.lastExec {
+		return
+	}
+	votes := r.ckptVotes[seq]
+	count := make(map[crypto.Digest]int)
+	for _, d := range votes {
+		count[d]++
+	}
+	for d, c := range count {
+		if c < r.log.Weak() {
+			continue
+		}
+		if seq > r.log.High() {
+			r.startStateTransfer(seq, d)
+			return
+		}
+		if !r.fetch.active && (r.fetch.candSeq == 0 || seq > r.fetch.candSeq) {
+			r.fetch.candSeq = seq
+			r.fetch.candDigest = d
+			r.fetch.candSince = time.Now()
+		}
+		return
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reply cache serialization (part of checkpointed state, §2.4.4 last-rep)
+// ---------------------------------------------------------------------------
+
+func (r *Replica) marshalReplyCache() []byte {
+	// Deterministic order: ascending client id.
+	ids := make([]message.NodeID, 0, len(r.replyCache))
+	for id := range r.replyCache {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var out []byte
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(ids)))
+	out = append(out, buf[:4]...)
+	for _, id := range ids {
+		cr := r.replyCache[id]
+		binary.LittleEndian.PutUint32(buf[:4], uint32(id))
+		out = append(out, buf[:4]...)
+		binary.LittleEndian.PutUint64(buf[:], cr.timestamp)
+		out = append(out, buf[:8]...)
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(cr.result)))
+		out = append(out, buf[:4]...)
+		out = append(out, cr.result...)
+	}
+	return out
+}
+
+func (r *Replica) installReplyCache(b []byte) {
+	cache := make(map[message.NodeID]*cachedReply)
+	if len(b) < 4 {
+		r.replyCache = cache
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(b[:4]))
+	off := 4
+	for i := 0; i < n; i++ {
+		if off+16 > len(b) {
+			break
+		}
+		id := message.NodeID(binary.LittleEndian.Uint32(b[off:]))
+		ts := binary.LittleEndian.Uint64(b[off+4:])
+		rl := int(binary.LittleEndian.Uint32(b[off+12:]))
+		off += 16
+		if off+rl > len(b) {
+			break
+		}
+		result := append([]byte(nil), b[off:off+rl]...)
+		off += rl
+		// Checkpointed replies correspond to committed execution.
+		cache[id] = &cachedReply{timestamp: ts, result: result, tentative: false}
+	}
+	r.replyCache = cache
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// inWV is the in-wv predicate: right view and inside the water marks.
+func (r *Replica) inWV(v message.View, seq message.Seq) bool {
+	return v == r.view && r.log.InWindow(seq)
+}
+
+// updateVCTimer arms the view-change timer while this backup waits for
+// queued requests to execute, per §2.3.5.
+func (r *Replica) updateVCTimer() {
+	if r.isPrimary() || r.vc.pending {
+		r.vcTimerDeadline = time.Time{}
+		return
+	}
+	waiting := len(r.queue) > 0
+	if waiting && r.vcTimerDeadline.IsZero() {
+		r.vcTimerDeadline = time.Now().Add(r.vcTimeout)
+	} else if !waiting {
+		r.vcTimerDeadline = time.Time{}
+	}
+}

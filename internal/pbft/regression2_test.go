@@ -1,0 +1,58 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvservice"
+)
+
+// TestRecoveryDefaultConfig is a regression test for two recovery bugs:
+// (1) state checking flagged legitimately-dirty pages as corrupt, and
+// (2) stored-message retransmission used stale-epoch authenticators after
+// the recovery's new-key refresh, so lagging replicas never caught up. It
+// dumps replica and slot state if recovery stalls.
+func TestRecoveryDefaultConfig(t *testing.T) {
+	cfg := Config{
+		Mode:               ModeMAC,
+		Opt:                DefaultOptions(),
+		CheckpointInterval: 4,
+		Seed:               3,
+	}
+	c := newTestClusterCfgOnly(t, 4, cfg)
+	cl := c.NewClient()
+	for i := 0; i < 6; i++ {
+		mustInvoke(t, cl, kvservice.Incr(), false)
+	}
+	c.Replica(2).Recover()
+	deadline := time.Now().Add(8 * time.Second)
+	for c.Replica(2).Recovering() {
+		if time.Now().After(deadline) {
+			for i, r := range c.Replicas {
+				r.do(func() {
+					t.Logf("replica %d: view=%d active=%v pending=%v seqno=%d lastExec=%d lastCommitted=%d low=%d queue=%d recPhase=%d recPoint=%d recovering=%v",
+						i, r.view, r.active, r.vc.pending, r.seqno, r.lastExec, r.lastCommitted,
+						r.log.Low(), len(r.queue), r.rec.phase, r.rec.recoveryPoint, r.rec.recovering)
+					for seq := r.log.Low() + 1; seq <= r.log.Low()+8; seq++ {
+						if s, ok := r.log.Peek(seq); ok {
+							t.Logf("  slot %d: view=%d hasD=%v hasPP=%v sentPrep=%v prepCnt=%d prepared=%v sentCommit=%v commitCnt=%d committed=%v exec=%v",
+								seq, s.View, s.HasDigest, s.PrePrepare != nil, s.SentPrepare, s.PrepareCount(r.primary(s.View)), s.Prepared, s.SentCommit, s.CommitCount(), s.CommittedLocal, s.Executed)
+						} else {
+							t.Logf("  slot %d: missing", seq)
+						}
+					}
+				})
+			}
+			t.Fatal("recovery stuck")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func newTestClusterCfgOnly(t testing.TB, n int, cfg Config) *Cluster {
+	t.Helper()
+	c := NewLocalCluster(n, cfg, kvservice.Factory, nil)
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}

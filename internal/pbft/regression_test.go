@@ -1,0 +1,55 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvservice"
+	"repro/internal/vlog"
+)
+
+// TestConcurrentClientsNoWedge is a regression test for a wedge found
+// during development: checkpoint digests included per-replica reply
+// envelopes (view/tentative flags), so checkpoints never stabilized, the
+// water-mark window filled, and a view-change cascade never completed. It
+// dumps replica state if progress stalls.
+func TestConcurrentClientsNoWedge(t *testing.T) {
+	cfg := testConfig()
+	c := newTestCluster(t, 4, cfg, nil)
+	const nClients = 5
+	const each = 10
+	done := make(chan int, nClients)
+	for i := 0; i < nClients; i++ {
+		cl := c.NewClient()
+		go func(k int) {
+			for j := 0; j < each; j++ {
+				if _, err := cl.Invoke(kvservice.Incr(), false); err != nil {
+					t.Logf("client %d op %d: %v", k, j, err)
+					done <- j
+					return
+				}
+			}
+			done <- each
+		}(i)
+	}
+	finished := 0
+	timeout := time.After(10 * time.Second)
+	for finished < nClients {
+		select {
+		case <-done:
+			finished++
+		case <-timeout:
+			for i, r := range c.Replicas {
+				r.do(func() {
+					t.Logf("replica %d: view=%d active=%v pending=%v seqno=%d lastExec=%d lastCommitted=%d low=%d queue=%d slots=%d waitingPP=%d",
+						i, r.view, r.active, r.vc.pending, r.seqno, r.lastExec, r.lastCommitted, r.log.Low(), len(r.queue), r.log.SlotCount(), len(r.waitingPP))
+					r.log.Slots(func(s *vlog.Slot) {
+						t.Logf("  slot %d: view=%d hasDigest=%v hasPP=%v prepared=%v committed=%v execT=%v exec=%v prepCount=%d commitCount=%d",
+							s.Seq, s.View, s.HasDigest, s.PrePrepare != nil, s.Prepared, s.CommittedLocal, s.ExecutedTentative, s.Executed, s.PrepareCount(r.primary(s.View)), s.CommitCount())
+					})
+				})
+			}
+			t.Fatal("stalled")
+		}
+	}
+}

@@ -1,0 +1,515 @@
+package pbft
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/crypto"
+	"repro/internal/message"
+	"repro/internal/simnet"
+	"repro/internal/statemachine"
+	"repro/internal/vlog"
+)
+
+// Metrics counts protocol events at one replica.
+type Metrics struct {
+	RequestsExecuted    uint64
+	BatchesExecuted     uint64
+	TentativeExecs      uint64
+	Rollbacks           uint64
+	ViewChanges         uint64 // view changes this replica initiated or joined
+	NewViewsProcessed   uint64
+	CheckpointsTaken    uint64
+	StableCheckpoints   uint64
+	StateTransfers      uint64
+	PagesFetched        uint64
+	Recoveries          uint64
+	RecoveriesCompleted uint64
+	LastRecoveryTime    time.Duration
+	MsgsDroppedBadAuth  uint64
+}
+
+type cachedReply struct {
+	timestamp uint64
+	result    []byte
+	tentative bool
+}
+
+// execRecord remembers what executed at a sequence number so new-view
+// processing can decide whether re-execution or rollback is needed.
+type execRecord struct {
+	digest    crypto.Digest
+	tentative bool
+}
+
+// Replica is one member of the replica group. All fields are owned by the
+// event-loop goroutine; external access goes through control thunks.
+type Replica struct {
+	cfg Config
+	id  message.NodeID
+	n   int
+	f   int
+	dir *Directory
+
+	ks *crypto.KeyStore
+	kp crypto.KeyPair
+
+	trans simnet.Transport
+	inbox chan []byte
+	ctrl  chan func()
+	stopC chan struct{}
+	wg    sync.WaitGroup
+
+	// Protocol state.
+	view   message.View
+	active bool // has new-view for view (or view 0)
+	seqno  message.Seq
+
+	log           *vlog.Log
+	lastExec      message.Seq // highest executed (tentative or final)
+	lastCommitted message.Seq // highest seq with all <= it committed+executed
+	execRecords   map[message.Seq]execRecord
+
+	region  *statemachine.Region
+	service statemachine.Service
+	ckpt    *checkpoint.Manager
+
+	replyCache map[message.NodeID]*cachedReply
+
+	// Checkpoint protocol.
+	ckptVotes    map[message.Seq]map[message.NodeID]crypto.Digest
+	pendingCkpts map[message.Seq]crypto.Digest // taken tentatively, msg unsent
+
+	// Request queue (FIFO, one entry per client — §5.5 fairness).
+	queue       []crypto.Digest
+	queuedByCli map[message.NodeID]crypto.Digest
+	roQueue     []*message.Request // read-only requests awaiting quiescence
+
+	// Pre-prepares waiting for separately-transmitted request bodies.
+	waitingPP map[message.Seq]*message.PrePrepare
+
+	// View change state (viewchange.go).
+	vc vcState
+
+	// State transfer (statefetch.go).
+	fetch fetchState
+
+	// Recovery (recovery.go).
+	rec recoveryState
+
+	// Timers (deadline-polled from the tick loop).
+	vcTimerDeadline  time.Time // zero = stopped
+	vcTimeout        time.Duration
+	statusDeadline   time.Time
+	keyDeadline      time.Time
+	watchdogDeadline time.Time
+
+	rng     *rand.Rand
+	metrics Metrics
+	stopped bool
+}
+
+// Network is the attachment point replicas and clients need: the simulated
+// network and the UDP book both provide it.
+type Network interface {
+	Attach(id message.NodeID, h simnet.Handler) simnet.Transport
+}
+
+// NewReplica constructs a replica. The service factory receives the region
+// the library allocated so the service keeps all state inside it.
+func NewReplica(cfg Config, dir *Directory, net Network,
+	svc func(*statemachine.Region) statemachine.Service) *Replica {
+	cfg.Validate()
+	r := &Replica{
+		cfg:          cfg,
+		id:           cfg.ID,
+		n:            cfg.N,
+		f:            cfg.F(),
+		dir:          dir,
+		ks:           crypto.NewKeyStore(uint32(cfg.ID)),
+		kp:           crypto.GenerateKeyPair(crypto.DeriveKey("replica-identity", uint64(cfg.ID))),
+		inbox:        make(chan []byte, 8192),
+		ctrl:         make(chan func(), 64),
+		stopC:        make(chan struct{}),
+		view:         0,
+		active:       true,
+		log:          vlog.New(cfg.N, cfg.LogWindow),
+		execRecords:  make(map[message.Seq]execRecord),
+		replyCache:   make(map[message.NodeID]*cachedReply),
+		ckptVotes:    make(map[message.Seq]map[message.NodeID]crypto.Digest),
+		pendingCkpts: make(map[message.Seq]crypto.Digest),
+		queuedByCli:  make(map[message.NodeID]crypto.Digest),
+		waitingPP:    make(map[message.Seq]*message.PrePrepare),
+		rng:          rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<32)),
+		vcTimeout:    cfg.ViewChangeTimeout,
+	}
+	r.region = statemachine.NewRegion(cfg.StateSize, cfg.PageSize)
+	r.service = svc(r.region)
+	r.ckpt = checkpoint.NewManager(r.region, cfg.Fanout)
+
+	dir.Register(r.id, r.kp.Public)
+	for i := 0; i < cfg.N; i++ {
+		if message.NodeID(i) != r.id {
+			r.ks.InstallInitial(uint32(i))
+		}
+	}
+	r.initViewChangeState()
+	r.initFetchState()
+	r.initRecoveryState()
+
+	r.trans = net.Attach(r.id, func(p []byte) {
+		select {
+		case r.inbox <- p:
+		default: // inbox overflow models receive-buffer loss
+		}
+	})
+	return r
+}
+
+// Start launches the event loop.
+func (r *Replica) Start() {
+	r.wg.Add(1)
+	now := time.Now()
+	r.statusDeadline = now.Add(r.cfg.StatusInterval)
+	if r.cfg.KeyRefreshInterval > 0 {
+		r.keyDeadline = now.Add(r.cfg.KeyRefreshInterval)
+	}
+	if r.cfg.WatchdogInterval > 0 {
+		// Stagger watchdogs so at most f replicas recover at once (§4.3.3).
+		r.watchdogDeadline = now.Add(r.cfg.WatchdogInterval +
+			time.Duration(r.id)*r.cfg.WatchdogInterval/time.Duration(r.n))
+	}
+	go r.run()
+}
+
+// Stop terminates the event loop and detaches from the network.
+func (r *Replica) Stop() {
+	select {
+	case <-r.stopC:
+		return // already stopped
+	default:
+	}
+	close(r.stopC)
+	r.wg.Wait()
+	r.trans.Close()
+}
+
+// ID returns the replica id.
+func (r *Replica) ID() message.NodeID { return r.id }
+
+// do runs fn inside the event loop and waits for it (test/inspection hook).
+func (r *Replica) do(fn func()) {
+	done := make(chan struct{})
+	select {
+	case r.ctrl <- func() { fn(); close(done) }:
+	case <-r.stopC:
+		return
+	}
+	select {
+	case <-done:
+	case <-r.stopC:
+	}
+}
+
+// Metrics returns a snapshot of the replica's counters.
+func (r *Replica) Metrics() Metrics {
+	var m Metrics
+	r.do(func() { m = r.metrics })
+	return m
+}
+
+// View returns the replica's current view.
+func (r *Replica) View() message.View {
+	var v message.View
+	r.do(func() { v = r.view })
+	return v
+}
+
+// LastExecuted returns the highest executed sequence number.
+func (r *Replica) LastExecuted() message.Seq {
+	var s message.Seq
+	r.do(func() { s = r.lastExec })
+	return s
+}
+
+// LowWaterMark returns the last stable checkpoint sequence number.
+func (r *Replica) LowWaterMark() message.Seq {
+	var s message.Seq
+	r.do(func() { s = r.log.Low() })
+	return s
+}
+
+// StateDigest returns the live state root digest.
+func (r *Replica) StateDigest() crypto.Digest {
+	var d crypto.Digest
+	r.do(func() { d = r.ckpt.RootDigest() })
+	return d
+}
+
+// InspectService calls fn with the replica's service instance inside the
+// event loop (read-only use in tests).
+func (r *Replica) InspectService(fn func(statemachine.Service)) {
+	r.do(func() { fn(r.service) })
+}
+
+// CorruptStatePage simulates an attacker flipping state bytes behind the
+// library's back; the state-checking pass of recovery must find it.
+func (r *Replica) CorruptStatePage(page int) {
+	r.do(func() { r.ckpt.CorruptLivePage(page) })
+}
+
+const tickInterval = 2 * time.Millisecond
+
+func (r *Replica) run() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(tickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case p := <-r.inbox:
+			if r.cfg.Behavior == Crashed {
+				continue
+			}
+			r.onRaw(p)
+		case <-ticker.C:
+			if r.cfg.Behavior == Crashed {
+				continue
+			}
+			r.onTick(time.Now())
+		case fn := <-r.ctrl:
+			fn()
+		case <-r.stopC:
+			return
+		}
+	}
+}
+
+func (r *Replica) onTick(now time.Time) {
+	if !r.vcTimerDeadline.IsZero() && now.After(r.vcTimerDeadline) {
+		r.onViewChangeTimeout()
+	}
+	if now.After(r.statusDeadline) {
+		r.statusDeadline = now.Add(r.cfg.StatusInterval)
+		r.sendStatus()
+	}
+	if !r.keyDeadline.IsZero() && now.After(r.keyDeadline) {
+		r.keyDeadline = now.Add(r.cfg.KeyRefreshInterval)
+		r.refreshKeys()
+	}
+	if !r.watchdogDeadline.IsZero() && now.After(r.watchdogDeadline) {
+		r.watchdogDeadline = now.Add(r.cfg.WatchdogInterval)
+		r.startRecovery()
+	}
+	r.fetchTick(now)
+	r.recoveryTick(now)
+}
+
+// onRaw decodes, authenticates, and dispatches one datagram.
+func (r *Replica) onRaw(p []byte) {
+	m, err := message.Unmarshal(p)
+	if err != nil {
+		return
+	}
+	if !r.verify(m) {
+		// A relayed view-change may carry a stale authenticator (its sender
+		// refreshed keys or the relay is second-hand); §3.2.4 still lets us
+		// accept it when its digest is pinned by a new-view certificate.
+		if vc, ok := m.(*message.ViewChange); ok {
+			r.onUnauthenticatedViewChange(vc)
+			return
+		}
+		r.metrics.MsgsDroppedBadAuth++
+		return
+	}
+	switch m := m.(type) {
+	case *message.Request:
+		r.onRequest(m)
+	case *message.Reply:
+		r.onRecoveryReply(m)
+	case *message.PrePrepare:
+		r.onPrePrepare(m)
+	case *message.Prepare:
+		r.onPrepare(m)
+	case *message.Commit:
+		r.onCommit(m)
+	case *message.Checkpoint:
+		r.onCheckpoint(m)
+	case *message.ViewChange:
+		r.onViewChange(m)
+	case *message.ViewChangeAck:
+		r.onViewChangeAck(m)
+	case *message.NewView:
+		r.onNewView(m)
+	case *message.StatusActive:
+		r.onStatusActive(m)
+	case *message.StatusPending:
+		r.onStatusPending(m)
+	case *message.Fetch:
+		r.onFetch(m)
+	case *message.MetaData:
+		r.onMetaData(m)
+	case *message.Data:
+		r.onData(m)
+	case *message.NewKey:
+		r.onNewKey(m)
+	case *message.QueryStable:
+		r.onQueryStable(m)
+	case *message.ReplyStable:
+		r.onReplyStable(m)
+	case *message.BatchFetch:
+		r.onBatchFetch(m)
+	case *message.BatchBody:
+		r.onBatchBody(m)
+	}
+}
+
+// primary returns the primary of view v.
+func (r *Replica) primary(v message.View) message.NodeID { return r.dir.Primary(v) }
+
+// isPrimary reports whether this replica is the primary of its current view.
+func (r *Replica) isPrimary() bool { return r.primary(r.view) == r.id }
+
+// replicaIDs returns all replica ids (multicast destination set).
+func (r *Replica) replicaIDs() []message.NodeID { return r.dir.ReplicaIDs() }
+
+// ---------------------------------------------------------------------------
+// Authentication
+// ---------------------------------------------------------------------------
+
+// signIfPK signs the message in BFT-PK mode; returns true if it handled it.
+func (r *Replica) signIfPK(m message.Message) bool {
+	if r.cfg.Mode != ModePK {
+		return false
+	}
+	*m.AuthTrailer() = message.Auth{Kind: message.AuthSig, Sig: r.kp.Sign(m.Payload())}
+	return true
+}
+
+// authMulticast attaches a group authenticator (or a signature in PK mode).
+func (r *Replica) authMulticast(m message.Message) {
+	if r.signIfPK(m) {
+		return
+	}
+	*m.AuthTrailer() = message.Auth{
+		Kind:   message.AuthVector,
+		Vector: r.ks.MakeAuthenticator(r.n, m.Payload()),
+	}
+}
+
+// authPoint attaches a single MAC for dst (or a signature in PK mode).
+func (r *Replica) authPoint(m message.Message, dst message.NodeID) {
+	if r.signIfPK(m) {
+		return
+	}
+	r.ensurePeerKeys(dst)
+	*m.AuthTrailer() = message.Auth{
+		Kind: message.AuthMAC,
+		MAC:  r.ks.ComputePointMAC(uint32(dst), m.Payload()),
+	}
+}
+
+// authSigned always signs (new-key, recovery requests) via the simulated
+// secure co-processor.
+func (r *Replica) authSigned(m message.Message) {
+	*m.AuthTrailer() = message.Auth{Kind: message.AuthSig, Sig: r.kp.Sign(m.Payload())}
+}
+
+// ensurePeerKeys lazily installs the administrator-distributed initial keys
+// for a principal first seen now (clients appear dynamically).
+func (r *Replica) ensurePeerKeys(peer message.NodeID) {
+	if k, _ := r.ks.OutKey(uint32(peer)); k == nil {
+		r.ks.InstallInitial(uint32(peer))
+	}
+}
+
+// verifySig checks a signature trailer against the directory.
+func (r *Replica) verifySig(m message.Message) bool {
+	a := m.AuthTrailer()
+	if a.Kind != message.AuthSig {
+		return false
+	}
+	pub, ok := r.dir.PublicKey(m.Sender())
+	if !ok {
+		return false
+	}
+	return crypto.Verify(pub, m.Payload(), a.Sig)
+}
+
+// verify authenticates an inbound message according to mode and type.
+func (r *Replica) verify(m message.Message) bool {
+	sender := m.Sender()
+	a := m.AuthTrailer()
+
+	switch m.(type) {
+	case *message.Data, *message.BatchBody:
+		// Content-addressed: verified against known digests (§5.3.2).
+		return true
+	case *message.NewKey:
+		return r.verifySig(m)
+	}
+
+	if req, ok := m.(*message.Request); ok && req.Recovery() {
+		return r.verifySig(m) // recovery requests are co-processor signed
+	}
+
+	if r.cfg.Mode == ModePK {
+		return r.verifySig(m)
+	}
+
+	switch a.Kind {
+	case message.AuthVector:
+		r.ensurePeerKeys(sender)
+		return r.ks.CheckAuthenticator(uint32(sender), m.Payload(), a.Vector)
+	case message.AuthMAC:
+		r.ensurePeerKeys(sender)
+		return r.ks.CheckPointMAC(uint32(sender), m.Payload(), a.MAC)
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sending
+// ---------------------------------------------------------------------------
+
+// multicastReplicas authenticates and multicasts m to the whole group.
+func (r *Replica) multicastReplicas(m message.Message) {
+	r.behaviorMangle(m)
+	r.authMulticast(m)
+	r.trans.Multicast(r.replicaIDs(), m.Marshal())
+}
+
+// sendTo authenticates point-to-point and sends m to dst.
+func (r *Replica) sendTo(dst message.NodeID, m message.Message) {
+	r.behaviorMangle(m)
+	r.authPoint(m, dst)
+	r.trans.Send(dst, m.Marshal())
+}
+
+// sendRaw sends an already-authenticated message (retransmissions of stored
+// messages keep their original authenticators so relays work).
+func (r *Replica) sendRaw(dst message.NodeID, m message.Message) {
+	r.trans.Send(dst, m.Marshal())
+}
+
+// behaviorMangle applies fault-injection personalities to outgoing traffic.
+func (r *Replica) behaviorMangle(m message.Message) {
+	switch r.cfg.Behavior {
+	case CorruptDigest:
+		switch mm := m.(type) {
+		case *message.Prepare:
+			mm.Digest[0] ^= 0xFF
+		case *message.Commit:
+			mm.Digest[0] ^= 0xFF
+		}
+	case WrongResult:
+		if rep, ok := m.(*message.Reply); ok {
+			if len(rep.Result) > 0 {
+				rep.Result[0] ^= 0xFF
+			}
+			rep.ResultDigest[0] ^= 0xFF
+		}
+	}
+}

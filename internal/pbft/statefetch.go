@@ -1,0 +1,537 @@
+package pbft
+
+import (
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/crypto"
+	"repro/internal/message"
+	"repro/internal/vlog"
+)
+
+// fetchTimeout bounds one fetch round-trip before retrying with a different
+// designated replier.
+const fetchTimeout = 150 * time.Millisecond
+
+// statusBitmapBits caps the per-status retransmission window.
+const statusBitmapBits = 256
+
+// fetchItem is one partition awaiting transfer.
+type fetchItem struct {
+	level  int
+	index  uint64
+	digest crypto.Digest // expected digest (from the parent's meta-data)
+	lm     message.Seq   // expected last-modification checkpoint
+}
+
+// fetchState drives the hierarchical state transfer of §5.3.2.
+type fetchState struct {
+	active       bool
+	target       message.Seq   // checkpoint being fetched
+	targetDigest crypto.Digest // H(root, extra) from the weak certificate
+	rootVerified bool
+	extra        []byte
+
+	// candidate tracks a stable checkpoint ahead of us that we might still
+	// reach by ordinary execution; the fetch starts only if we fail to for
+	// a grace period (normal slight lag must not trigger transfers).
+	candSeq    message.Seq
+	candDigest crypto.Digest
+	candSince  time.Time
+
+	queue       []fetchItem
+	outstanding *fetchItem
+	replier     message.NodeID
+	sentAt      time.Time
+	retries     int
+	startedAt   time.Time
+	prevExec    message.Seq // lastExec when the transfer started
+}
+
+func (r *Replica) initFetchState() { r.fetch = fetchState{} }
+
+// startStateTransfer begins fetching checkpoint seq whose combined digest
+// (root+extra) is d, learned from a weak certificate or a new-view message.
+func (r *Replica) startStateTransfer(seq message.Seq, d crypto.Digest) {
+	if r.fetch.active && r.fetch.target >= seq {
+		return
+	}
+	r.metrics.StateTransfers++
+	r.fetch = fetchState{
+		active:       true,
+		target:       seq,
+		targetDigest: d,
+		queue:        []fetchItem{{level: 0, index: 0}},
+		replier:      r.pickReplier(message.NoNode),
+		startedAt:    time.Now(),
+		prevExec:     r.lastExec,
+	}
+	r.issueNextFetch()
+}
+
+func (r *Replica) pickReplier(not message.NodeID) message.NodeID {
+	for {
+		c := message.NodeID(r.rng.Intn(r.n))
+		if c != r.id && c != not {
+			return c
+		}
+	}
+}
+
+func (r *Replica) issueNextFetch() {
+	f := &r.fetch
+	for f.outstanding == nil {
+		if len(f.queue) == 0 {
+			r.finishFetchIfDone()
+			return
+		}
+		item := f.queue[0]
+		f.queue = f.queue[1:]
+		// Skip partitions that already match locally.
+		if item.level > 0 && r.liveNodeDigest(item.level, int(item.index)) == item.digest {
+			continue
+		}
+		f.outstanding = &item
+		r.sendFetch()
+		return
+	}
+}
+
+// liveNodeDigest reads the live tree digest of a partition.
+func (r *Replica) liveNodeDigest(level, index int) crypto.Digest {
+	// Live tree == state "now"; NodeAt with a far-future sequence number
+	// falls through every snapshot overlay to the live tree.
+	info, ok := r.ckpt.NodeAt(message.Seq(1<<62), level, index)
+	if !ok {
+		return crypto.Digest{}
+	}
+	return info.Digest
+}
+
+func (r *Replica) sendFetch() {
+	f := &r.fetch
+	item := f.outstanding
+	msg := &message.Fetch{
+		Level:     uint8(item.level),
+		Index:     item.index,
+		LastKnown: r.ckpt.Latest().Seq,
+		Target:    f.target,
+		Replier:   f.replier,
+		Replica:   r.id,
+	}
+	f.sentAt = time.Now()
+	r.multicastReplicas(msg)
+}
+
+// fetchTick retries timed-out fetches with a new designated replier and
+// promotes stalled catch-up candidates to real transfers.
+func (r *Replica) fetchTick(now time.Time) {
+	f := &r.fetch
+	if !f.active && f.candSeq != 0 {
+		if r.lastExec >= f.candSeq {
+			f.candSeq = 0 // caught up by ordinary execution
+		} else if now.Sub(f.candSince) > 4*fetchTimeout {
+			seq, d := f.candSeq, f.candDigest
+			f.candSeq = 0
+			r.startStateTransfer(seq, d)
+			return
+		}
+	}
+	if !f.active || f.outstanding == nil {
+		return
+	}
+	if now.Sub(f.sentAt) < fetchTimeout {
+		return
+	}
+	f.retries++
+	f.replier = r.pickReplier(f.replier)
+	r.sendFetch()
+}
+
+// onFetch serves state to a fetching replica (§5.3.2).
+func (r *Replica) onFetch(m *message.Fetch) {
+	if m.Replica == r.id {
+		return
+	}
+	snap, ok := r.ckpt.Snapshot(m.Target)
+	if m.Replier == r.id && ok {
+		r.serveFetch(m, snap.Seq)
+		return
+	}
+	// Non-designated replicas (or ones that discarded the checkpoint) offer
+	// their latest stable checkpoint if it is fresher than what the
+	// requester has (guarantees progress when m.Target was collected).
+	low := r.log.Low()
+	if low > m.LastKnown && low > m.Target {
+		if s2, ok2 := r.ckpt.Snapshot(low); ok2 {
+			r.serveFetch(m, s2.Seq)
+		}
+	}
+}
+
+// serveFetch sends the meta-data (or page data) for one partition at
+// checkpoint seq.
+func (r *Replica) serveFetch(m *message.Fetch, seq message.Seq) {
+	level := int(m.Level)
+	leaf := r.ckpt.Levels() - 1
+	if level >= leaf {
+		// Page request: the designated replier ships the full page; its
+		// correctness is checked against the digest the fetcher already
+		// verified, so no MAC is needed.
+		content, lm, ok := r.ckpt.PageAt(seq, int(m.Index))
+		if !ok {
+			return
+		}
+		d := &message.Data{
+			Index:   m.Index,
+			LastMod: lm,
+			Page:    append([]byte(nil), content...),
+			Replica: r.id,
+		}
+		r.sendRaw(m.Replica, d)
+		return
+	}
+	parts, ok := r.ckpt.ChildrenAt(seq, level, int(m.Index))
+	if !ok {
+		return
+	}
+	info, _ := r.ckpt.NodeAt(seq, level, int(m.Index))
+	md := &message.MetaData{
+		Seq:     seq,
+		Level:   m.Level,
+		Index:   m.Index,
+		LastMod: info.LastMod,
+		Parts:   parts,
+		Replica: r.id,
+	}
+	if level == 0 {
+		if snap, ok := r.ckpt.Snapshot(seq); ok {
+			md.Extra = snap.Extra
+		}
+	}
+	r.sendTo(m.Replica, md)
+}
+
+// onMetaData advances the fetch recursion after verifying the reply against
+// the digest learned from the parent (or the weak certificate for the root).
+func (r *Replica) onMetaData(md *message.MetaData) {
+	f := &r.fetch
+	if !f.active || f.outstanding == nil {
+		return
+	}
+	item := f.outstanding
+	if int(md.Level) != item.level || md.Index != item.index || md.Seq != f.target {
+		return
+	}
+	// Verify: recompute the partition digest from the children.
+	var sum crypto.Incr
+	for _, p := range md.Parts {
+		sum = sum.Add(crypto.IncrOf(p.Digest))
+	}
+	computed := checkpoint.InteriorDigest(item.level, int(item.index), sum)
+	if item.level == 0 {
+		if ckptDigest(computed, md.Extra) != f.targetDigest {
+			return // bogus or stale reply; retry will pick another replier
+		}
+		f.rootVerified = true
+		f.extra = append([]byte(nil), md.Extra...)
+	} else if computed != item.digest {
+		return
+	}
+	// Enqueue children that differ from our live state.
+	leaf := r.ckpt.Levels() - 1
+	for _, p := range md.Parts {
+		childLevel := item.level + 1
+		var live crypto.Digest
+		if childLevel == leaf {
+			live = r.liveNodeDigest(leaf, int(p.Index))
+		} else {
+			live = r.liveNodeDigest(childLevel, int(p.Index))
+		}
+		if live == p.Digest {
+			continue
+		}
+		f.queue = append(f.queue, fetchItem{
+			level:  childLevel,
+			index:  p.Index,
+			digest: p.Digest,
+			lm:     p.LastMod,
+		})
+	}
+	f.outstanding = nil
+	f.retries = 0
+	r.issueNextFetch()
+}
+
+// onData installs a fetched page after verifying it against the expected
+// leaf digest.
+func (r *Replica) onData(d *message.Data) {
+	f := &r.fetch
+	if !f.active || f.outstanding == nil {
+		return
+	}
+	item := f.outstanding
+	leaf := r.ckpt.Levels() - 1
+	if item.level != leaf || d.Index != item.index {
+		return
+	}
+	if len(d.Page) != r.region.PageSize() {
+		return
+	}
+	if checkpoint.LeafDigest(int(d.Index), d.LastMod, d.Page) != item.digest {
+		return
+	}
+	r.ckpt.InstallPage(int(d.Index), d.LastMod, d.Page)
+	r.metrics.PagesFetched++
+	f.outstanding = nil
+	f.retries = 0
+	r.issueNextFetch()
+}
+
+// finishFetchIfDone seals a completed transfer and resumes the protocol.
+func (r *Replica) finishFetchIfDone() {
+	f := &r.fetch
+	if !f.active || len(f.queue) != 0 || f.outstanding != nil || !f.rootVerified {
+		return
+	}
+	if ckptDigest(r.ckpt.RootDigest(), f.extra) != f.targetDigest {
+		// Shouldn't happen: every page verified. Restart from the root.
+		f.queue = []fetchItem{{level: 0, index: 0}}
+		f.rootVerified = false
+		r.issueNextFetch()
+		return
+	}
+	target := f.target
+	extra := f.extra
+	f.active = false
+
+	r.ckpt.SealFetched(target, extra)
+	r.installReplyCache(extra)
+	if target > r.log.Low() {
+		r.log.AdvanceLow(target)
+		for s := range r.ckptVotes {
+			if s <= target {
+				delete(r.ckptVotes, s)
+			}
+		}
+		r.pruneViewChangeSets(target)
+	}
+	prev := r.lastExec
+	if target != prev {
+		// The live state now reflects execution through target exactly; any
+		// slots between target and the old lastExec must re-execute, so
+		// their request bodies must survive garbage collection.
+		r.lastExec = target
+		r.lastCommitted = target
+		r.log.UnmarkExecutedAbove(target)
+		for s := range r.execRecords {
+			if s > target {
+				delete(r.execRecords, s)
+			}
+		}
+		r.log.Slots(func(s *vlog.Slot) {
+			if s.Seq > target {
+				s.Executed = false
+				s.ExecutedTentative = false
+			}
+		})
+	}
+	r.metrics.StableCheckpoints++
+	r.recoveryCheckpointStable(target)
+	r.executeForward()
+}
+
+// ---------------------------------------------------------------------------
+// Status messages and retransmission (§5.2)
+// ---------------------------------------------------------------------------
+
+func setBit(b []byte, i int) {
+	if i>>3 < len(b) {
+		b[i>>3] |= 1 << (i & 7)
+	}
+}
+
+func getBit(b []byte, i int) bool {
+	return i>>3 < len(b) && b[i>>3]&(1<<(i&7)) != 0
+}
+
+// sendStatus multicasts the appropriate status summary.
+func (r *Replica) sendStatus() {
+	if r.vc.pending {
+		st := &message.StatusPending{
+			View:       r.view,
+			LastStable: r.log.Low(),
+			LastExec:   r.lastExec,
+			Replica:    r.id,
+			HasNewView: false,
+			VCs:        make([]byte, (r.n+7)/8),
+		}
+		for id := range r.vc.forView {
+			setBit(st.VCs, int(id))
+		}
+		r.multicastReplicas(st)
+		return
+	}
+	// Status messages are periodic (§5.2): they double as negative
+	// acknowledgments, and they are how an isolated replica's peers learn
+	// it fell behind, so they are sent even when nothing seems missing.
+	bits := int(min64(int64(r.log.LogSize()), statusBitmapBits))
+	st := &message.StatusActive{
+		View:       r.view,
+		LastStable: r.log.Low(),
+		LastExec:   r.lastExec,
+		Replica:    r.id,
+		Prepared:   make([]byte, (bits+7)/8),
+		Committed:  make([]byte, (bits+7)/8),
+	}
+	for i := 0; i < bits; i++ {
+		seq := r.lastExec + 1 + message.Seq(i)
+		if s, ok := r.log.Peek(seq); ok {
+			if s.Prepared {
+				setBit(st.Prepared, i)
+			}
+			if s.CommittedLocal {
+				setBit(st.Committed, i)
+			}
+		}
+	}
+	r.multicastReplicas(st)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (r *Replica) onStatusActive(st *message.StatusActive) {
+	if st.Replica == r.id {
+		return
+	}
+	if st.View < r.view {
+		r.helpLaggingView(st.Replica)
+		return
+	}
+	if st.View > r.view || r.vc.pending {
+		return
+	}
+	// Retransmit checkpoint votes if the peer's stability lags ours.
+	if st.LastStable < r.log.Low() {
+		if snap, ok := r.ckpt.Snapshot(r.log.Low()); ok {
+			cp := &message.Checkpoint{Seq: snap.Seq, Digest: ckptDigest(snap.Root, snap.Extra), Replica: r.id}
+			r.behaviorMangle(cp)
+			r.authMulticast(cp)
+			r.sendRaw(st.Replica, cp)
+		}
+	}
+	// Retransmit protocol messages for sequence numbers the peer lacks.
+	// Retransmissions are authenticated with the CURRENT keys (§5.2: after
+	// a key refresh, messages stored with old authenticators are useless),
+	// so each replica only retransmits messages it originally sent.
+	bits := int(min64(int64(r.log.LogSize()), statusBitmapBits))
+	for i := 0; i < bits; i++ {
+		seq := st.LastExec + 1 + message.Seq(i)
+		s, ok := r.log.Peek(seq)
+		if !ok || !s.HasDigest {
+			continue
+		}
+		if !getBit(st.Prepared, i) {
+			if s.PrePrepare != nil && s.PrePrepare.Replica == r.id && r.haveSeparateBodies(s.PrePrepare) {
+				r.authMulticast(s.PrePrepare) // fresh authenticator
+				r.sendRaw(st.Replica, s.PrePrepare)
+				// Ship separately-transmitted request bodies too (client
+				// authenticators are epoch-stable).
+				for _, d := range s.PrePrepare.Digests {
+					if req, ok := r.log.Request(d); ok {
+						r.sendRaw(st.Replica, req)
+					}
+				}
+			}
+			if s.SentPrepare {
+				p := &message.Prepare{View: s.View, Seq: seq, Digest: s.Digest, Replica: r.id}
+				r.behaviorMangle(p)
+				r.authMulticast(p)
+				r.sendRaw(st.Replica, p)
+			}
+		}
+		if getBit(st.Prepared, i) && !getBit(st.Committed, i) && s.SentCommit {
+			c := &message.Commit{View: s.View, Seq: seq, Digest: s.Digest, Replica: r.id}
+			r.behaviorMangle(c)
+			r.authMulticast(c)
+			r.sendRaw(st.Replica, c)
+		}
+	}
+}
+
+func (r *Replica) onStatusPending(st *message.StatusPending) {
+	if st.Replica == r.id {
+		return
+	}
+	if st.View < r.view {
+		r.helpLaggingView(st.Replica)
+		return
+	}
+	if st.View != r.view {
+		return
+	}
+	if r.vc.pending {
+		// Resend our own view-change with a fresh authenticator if the peer
+		// lacks it, and relay others' (the receiver validates relays by
+		// digest against the new-view certificate when authenticators are
+		// stale, §3.2.4).
+		for id, vc := range r.vc.forView {
+			if getBit(st.VCs, int(id)) {
+				continue
+			}
+			if id == r.id {
+				r.authMulticast(vc)
+			}
+			r.sendRaw(st.Replica, vc)
+		}
+		return
+	}
+	// We are active in this view: give the peer the new-view decision (the
+	// author re-authenticates it; others relay) plus the certificate's
+	// view-changes.
+	if r.vc.newView != nil && !st.HasNewView {
+		if r.vc.newView.Replica == r.id {
+			r.authMulticast(r.vc.newView)
+		}
+		r.sendRaw(st.Replica, r.vc.newView)
+		for id, vc := range r.vc.forView {
+			if getBit(st.VCs, int(id)) {
+				continue
+			}
+			if id == r.id {
+				r.authMulticast(vc)
+			}
+			r.sendRaw(st.Replica, vc)
+		}
+	}
+}
+
+// helpLaggingView pushes a replica stuck in an older view forward: our own
+// view-change for the current view (freshly authenticated) plus the
+// new-view message if we authored it. The other certificate members help
+// with their own messages when they see the laggard's status.
+func (r *Replica) helpLaggingView(peer message.NodeID) {
+	if vc, ok := r.vc.forView[r.id]; ok {
+		r.authMulticast(vc)
+		r.sendRaw(peer, vc)
+	}
+	if !r.vc.pending && r.vc.newView != nil {
+		if r.vc.newView.Replica == r.id {
+			r.authMulticast(r.vc.newView)
+		}
+		r.sendRaw(peer, r.vc.newView)
+		for _, ref := range r.vc.newView.V {
+			if vc, ok := r.vc.forView[ref.Replica]; ok {
+				if ref.Replica == r.id {
+					r.authMulticast(vc)
+				}
+				r.sendRaw(peer, vc)
+			}
+		}
+	}
+}

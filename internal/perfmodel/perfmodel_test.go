@@ -1,0 +1,123 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// fixedParams returns hand-set constants so tests are deterministic.
+func fixedParams(n int) Params {
+	return Params{
+		N:             n,
+		Header:        96,
+		DigestFixed:   200 * time.Nanosecond,
+		DigestPerByte: 2 * time.Nanosecond,
+		MACOp:         300 * time.Nanosecond,
+		SigGen:        30 * time.Microsecond,
+		SigVerify:     60 * time.Microsecond,
+		CommFixed:     5 * time.Microsecond,
+		CommPerByte:   8 * time.Nanosecond,
+		Execute:       200 * time.Nanosecond,
+	}
+}
+
+func TestReadOnlyFasterThanReadWrite(t *testing.T) {
+	p := fixedParams(4)
+	ro := p.LatencyReadOnly(0, 0, false)
+	rw := p.LatencyReadWrite(0, 0, false, true)
+	if ro >= rw {
+		t.Fatalf("read-only %v not faster than read-write %v", ro, rw)
+	}
+}
+
+func TestTentativeFasterThanFull(t *testing.T) {
+	p := fixedParams(4)
+	tent := p.LatencyReadWrite(0, 0, false, true)
+	full := p.LatencyReadWrite(0, 0, false, false)
+	if tent >= full {
+		t.Fatalf("tentative %v not faster than full commit %v", tent, full)
+	}
+}
+
+func TestPKSlowerThanMAC(t *testing.T) {
+	// The paper's headline: signatures dominate latency (§8.3.1 shows
+	// BFT-PK an order of magnitude slower).
+	p := fixedParams(4)
+	mac := p.LatencyReadWrite(0, 0, false, true)
+	pk := p.LatencyReadWrite(0, 0, true, true)
+	if pk < 5*mac {
+		t.Fatalf("PK latency %v should dwarf MAC latency %v", pk, mac)
+	}
+}
+
+func TestLatencyGrowsWithSizes(t *testing.T) {
+	p := fixedParams(4)
+	if p.LatencyReadWrite(4096, 0, false, true) <= p.LatencyReadWrite(0, 0, false, true) {
+		t.Fatal("argument size has no cost")
+	}
+	if p.LatencyReadWrite(0, 4096, false, true) <= p.LatencyReadWrite(0, 0, false, true) {
+		t.Fatal("result size has no cost")
+	}
+}
+
+func TestBatchingImprovesThroughput(t *testing.T) {
+	p := fixedParams(4)
+	t1 := p.ThroughputReadWrite(0, 0, 1, false)
+	t16 := p.ThroughputReadWrite(0, 0, 16, false)
+	if t16 <= t1 {
+		t.Fatalf("batching hurt throughput: %v -> %v", t1, t16)
+	}
+}
+
+func TestMoreReplicasSlower(t *testing.T) {
+	// §8.3.4: latency grows with n (bigger authenticators, more traffic).
+	l4 := fixedParams(4).LatencyReadWrite(0, 0, false, true)
+	l13 := fixedParams(13).LatencyReadWrite(0, 0, false, true)
+	if l13 <= l4 {
+		t.Fatalf("n=13 latency %v not above n=4 latency %v", l13, l4)
+	}
+}
+
+func TestAuthenticatorCrossover(t *testing.T) {
+	// §3.2.1: generating an authenticator costs (n-1) MACs, so BFT beats
+	// BFT-PK until n is enormous. With these constants the crossover is
+	// SigGen/MACOp = 100 replicas.
+	p := fixedParams(4)
+	cross := int(p.SigGen/p.MACOp) + 1
+	small := fixedParams(cross / 2)
+	if small.authGen(false) >= small.authGen(true) {
+		t.Fatal("MACs should beat signatures below the crossover")
+	}
+	big := fixedParams(cross * 2)
+	if big.authGen(false) <= big.authGen(true) {
+		t.Fatal("signatures should win far beyond the crossover")
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	p := fixedParams(4)
+	for _, pk := range []bool{false, true} {
+		if p.ThroughputReadWrite(0, 4096, 8, pk) <= 0 {
+			t.Fatal("non-positive throughput")
+		}
+		if p.ThroughputReadOnly(0, 0, pk) <= 0 {
+			t.Fatal("non-positive RO throughput")
+		}
+	}
+}
+
+func TestCalibrateSane(t *testing.T) {
+	p := Calibrate(4, simnet.LinkConfig{})
+	if p.MACOp <= 0 || p.DigestFixed <= 0 || p.SigGen <= 0 || p.CommFixed <= 0 {
+		t.Fatalf("calibration produced zeros: %+v", p)
+	}
+	// The relative ordering the protocol depends on (§3's premise).
+	if p.SigGen < 10*p.MACOp {
+		t.Fatalf("signatures (%v) not much dearer than MACs (%v)", p.SigGen, p.MACOp)
+	}
+	if p.LatencyReadWrite(0, 0, false, true) <= 0 {
+		t.Fatal("model predicts non-positive latency")
+	}
+}

@@ -1,0 +1,323 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+)
+
+// collector gathers payloads delivered to an endpoint.
+type collector struct {
+	mu   sync.Mutex
+	got  [][]byte
+	seen chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{seen: make(chan struct{}, 1024)}
+}
+
+func (c *collector) handler(p []byte) {
+	c.mu.Lock()
+	c.got = append(c.got, p)
+	c.mu.Unlock()
+	c.seen <- struct{}{}
+}
+
+func (c *collector) wait(t *testing.T, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.seen:
+		case <-deadline:
+			t.Fatalf("timed out waiting for delivery %d/%d", i+1, n)
+		}
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func TestBasicDelivery(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	a.Send(1, []byte("hello"))
+	c.wait(t, 1, time.Second)
+	if string(c.got[0]) != "hello" {
+		t.Fatalf("got %q", c.got[0])
+	}
+}
+
+func TestMulticastSkipsSelf(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	self := newCollector()
+	c1, c2 := newCollector(), newCollector()
+	a := n.Attach(0, self.handler)
+	n.Attach(1, c1.handler)
+	n.Attach(2, c2.handler)
+	a.Multicast([]message.NodeID{0, 1, 2}, []byte("m"))
+	c1.wait(t, 1, time.Second)
+	c2.wait(t, 1, time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if self.count() != 0 {
+		t.Fatal("multicast delivered to self")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(WithSeed(1), WithDefaults(LinkConfig{Latency: 30 * time.Millisecond}))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	start := time.Now()
+	a.Send(1, []byte("x"))
+	c.wait(t, 1, time.Second)
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~30ms", el)
+	}
+}
+
+func TestOrderingPreservedAtEqualDelay(t *testing.T) {
+	n := New(WithSeed(1), WithDefaults(LinkConfig{Latency: 5 * time.Millisecond}))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	for i := 0; i < 20; i++ {
+		a.Send(1, []byte{byte(i)})
+	}
+	c.wait(t, 20, 2*time.Second)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, p := range c.got {
+		if p[0] != byte(i) {
+			t.Fatalf("message %d out of order (got %d)", i, p[0])
+		}
+	}
+}
+
+func TestLossRateDropsEverything(t *testing.T) {
+	n := New(WithSeed(1), WithDefaults(LinkConfig{LossRate: 1.0}))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	for i := 0; i < 10; i++ {
+		a.Send(1, []byte("x"))
+	}
+	time.Sleep(30 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatal("lossy link delivered")
+	}
+	if s := n.Stats(); s.MsgsDropped != 10 {
+		t.Fatalf("dropped = %d, want 10", s.MsgsDropped)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	n := New(WithSeed(1), WithDefaults(LinkConfig{DupRate: 1.0, Latency: time.Millisecond}))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	a.Send(1, []byte("x"))
+	c.wait(t, 2, time.Second)
+	if c.count() != 2 {
+		t.Fatalf("got %d copies, want 2", c.count())
+	}
+}
+
+func TestBlockAndUnblock(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	n.Block(0, 1)
+	a.Send(1, []byte("x"))
+	time.Sleep(20 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatal("blocked link delivered")
+	}
+	n.Unblock(0, 1)
+	a.Send(1, []byte("y"))
+	c.wait(t, 1, time.Second)
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	cs := make([]*collector, 4)
+	ts := make([]Transport, 4)
+	for i := range cs {
+		cs[i] = newCollector()
+		ts[i] = n.Attach(message.NodeID(i), cs[i].handler)
+	}
+	n.Partition([]message.NodeID{0, 1}, []message.NodeID{2, 3})
+	ts[0].Send(1, []byte("in-group"))
+	ts[0].Send(2, []byte("cross-group"))
+	cs[1].wait(t, 1, time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if cs[2].count() != 0 {
+		t.Fatal("cross-partition traffic delivered")
+	}
+	n.Heal()
+	ts[0].Send(2, []byte("after-heal"))
+	cs[2].wait(t, 1, time.Second)
+}
+
+func TestIsolate(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	c0, c1, c2 := newCollector(), newCollector(), newCollector()
+	t0 := n.Attach(0, c0.handler)
+	t1 := n.Attach(1, c1.handler)
+	n.Attach(2, c2.handler)
+	n.Isolate(0)
+	t0.Send(1, []byte("out"))
+	t1.Send(0, []byte("in"))
+	t1.Send(2, []byte("bystander"))
+	c2.wait(t, 1, time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if c0.count() != 0 || c1.count() != 0 {
+		t.Fatal("isolated node exchanged traffic")
+	}
+}
+
+func TestFilterModifiesAndDrops(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	var dropped atomic.Int32
+	n.SetFilter(func(src, dst message.NodeID, p []byte) ([]byte, bool) {
+		if p[0] == 'd' {
+			dropped.Add(1)
+			return nil, false
+		}
+		out := append([]byte("mod:"), p...)
+		return out, true
+	})
+	a.Send(1, []byte("drop-me"))
+	a.Send(1, []byte("keep"))
+	c.wait(t, 1, time.Second)
+	if string(c.got[0]) != "mod:keep" {
+		t.Fatalf("got %q", c.got[0])
+	}
+	if dropped.Load() != 1 {
+		t.Fatal("filter drop not applied")
+	}
+	n.SetFilter(nil)
+	a.Send(1, []byte("plain"))
+	c.wait(t, 1, time.Second)
+}
+
+func TestPerLinkOverride(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	fast, slow := newCollector(), newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, fast.handler)
+	n.Attach(2, slow.handler)
+	n.SetLink(0, 2, LinkConfig{Latency: 50 * time.Millisecond})
+	start := time.Now()
+	a.Send(1, []byte("f"))
+	a.Send(2, []byte("s"))
+	fast.wait(t, 1, time.Second)
+	fastAt := time.Since(start)
+	slow.wait(t, 1, time.Second)
+	slowAt := time.Since(start)
+	if fastAt > 20*time.Millisecond {
+		t.Fatalf("fast path took %v", fastAt)
+	}
+	if slowAt < 40*time.Millisecond {
+		t.Fatalf("slow path took only %v", slowAt)
+	}
+}
+
+func TestBandwidthModel(t *testing.T) {
+	// 1 MB/s: a 100 KB payload should take ~100 ms.
+	n := New(WithSeed(1), WithDefaults(LinkConfig{BytesPerSec: 1 << 20}))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	start := time.Now()
+	a.Send(1, make([]byte, 100<<10))
+	c.wait(t, 1, 2*time.Second)
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("100KB at 1MB/s arrived in %v", el)
+	}
+}
+
+func TestSendToUnknownDoesNotPanic(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	a := n.Attach(0, func([]byte) {})
+	a.Send(42, []byte("void"))
+	if s := n.Stats(); s.MsgsDropped != 1 {
+		t.Fatalf("dropped = %d", s.MsgsDropped)
+	}
+}
+
+func TestCloseEndpointStopsDelivery(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	ep := n.Attach(1, c.handler)
+	ep.Close()
+	a.Send(1, []byte("x"))
+	time.Sleep(20 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatal("closed endpoint received")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := New(WithSeed(1))
+	defer n.Close()
+	c := newCollector()
+	a := n.Attach(0, func([]byte) {})
+	n.Attach(1, c.handler)
+	a.Send(1, make([]byte, 100))
+	c.wait(t, 1, time.Second)
+	s := n.Stats()
+	if s.MsgsSent != 1 || s.BytesSent != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentSendersNoRace(t *testing.T) {
+	n := New(WithSeed(1), WithDefaults(LinkConfig{Latency: time.Millisecond, Jitter: time.Millisecond}))
+	defer n.Close()
+	c := newCollector()
+	n.Attach(9, c.handler)
+	var wg sync.WaitGroup
+	const senders, each = 8, 50
+	for i := 0; i < senders; i++ {
+		tr := n.Attach(message.NodeID(i), func([]byte) {})
+		wg.Add(1)
+		go func(tr Transport) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				tr.Send(9, []byte{1})
+			}
+		}(tr)
+	}
+	wg.Wait()
+	c.wait(t, senders*each, 5*time.Second)
+}

@@ -1,0 +1,128 @@
+package statemachine
+
+import (
+	"testing"
+)
+
+func TestRegionGeometry(t *testing.T) {
+	r := NewRegion(10_000, 4096)
+	if r.PageSize() != 4096 {
+		t.Fatalf("page size %d", r.PageSize())
+	}
+	if r.NumPages() != 3 { // 10000/4096 rounds up to 3
+		t.Fatalf("pages %d, want 3", r.NumPages())
+	}
+	if r.Size() != 3*4096 {
+		t.Fatalf("size %d", r.Size())
+	}
+	r0 := NewRegion(0, 64)
+	if r0.NumPages() != 1 {
+		t.Fatal("zero-size region must still hold one page")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := NewRegion(1024, 128)
+	r.WriteAt(100, []byte("hello"))
+	got := r.ReadAt(100, 5)
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	r := NewRegion(1024, 128) // 8 pages
+	r.WriteAt(0, []byte{1})
+	r.WriteAt(130, []byte{2})    // page 1
+	r.WriteAt(127, []byte{9, 9}) // spans pages 0-1
+	if got := r.DirtyPages(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("dirty = %v, want [0 1]", got)
+	}
+	r.ClearDirty()
+	if got := r.DirtyPages(); len(got) != 0 {
+		t.Fatalf("dirty after clear = %v", got)
+	}
+	r.WriteAt(1023, []byte{1})
+	if got := r.DirtyPages(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("dirty = %v, want [7]", got)
+	}
+}
+
+func TestModifyZeroLenNoop(t *testing.T) {
+	r := NewRegion(256, 64)
+	r.Modify(10, 0)
+	if len(r.DirtyPages()) != 0 {
+		t.Fatal("zero-length modify dirtied pages")
+	}
+}
+
+func TestModifyOutOfRangePanics(t *testing.T) {
+	r := NewRegion(256, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Modify did not panic")
+		}
+	}()
+	r.Modify(250, 10)
+}
+
+func TestOnModifyHookFiresOncePerPageEpoch(t *testing.T) {
+	r := NewRegion(256, 64)
+	var calls []int
+	r.SetOnModify(func(p int) { calls = append(calls, p) })
+	r.WriteAt(0, []byte{1})
+	r.WriteAt(1, []byte{2}) // same page: hook must not fire again
+	r.WriteAt(64, []byte{3})
+	if len(calls) != 2 || calls[0] != 0 || calls[1] != 1 {
+		t.Fatalf("hook calls = %v, want [0 1]", calls)
+	}
+	r.ClearDirty()
+	r.WriteAt(0, []byte{4})
+	if len(calls) != 3 {
+		t.Fatal("hook must fire again after ClearDirty")
+	}
+}
+
+func TestSetPageAndPage(t *testing.T) {
+	r := NewRegion(256, 64)
+	content := make([]byte, 64)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	r.SetPage(2, content)
+	got := r.Page(2)
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("page byte %d = %d", i, got[i])
+		}
+	}
+	if d := r.DirtyPages(); len(d) != 1 || d[0] != 2 {
+		t.Fatalf("dirty %v", d)
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := NewRegion(256, 64)
+	r.WriteAt(5, []byte("abc"))
+	c := r.Clone()
+	if string(c.ReadAt(5, 3)) != "abc" {
+		t.Fatal("clone content differs")
+	}
+	c.WriteAt(5, []byte("xyz"))
+	if string(r.ReadAt(5, 3)) != "abc" {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestDirtyPagesSorted(t *testing.T) {
+	r := NewRegion(64*64, 64)
+	for _, p := range []int{33, 2, 17, 5, 60, 1} {
+		r.WriteAt(p*64, []byte{1})
+	}
+	d := r.DirtyPages()
+	for i := 1; i < len(d); i++ {
+		if d[i-1] >= d[i] {
+			t.Fatalf("dirty pages not sorted: %v", d)
+		}
+	}
+}

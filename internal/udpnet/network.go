@@ -1,0 +1,29 @@
+package udpnet
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/simnet"
+)
+
+// Network adapts an AddressBook to the attachment interface replicas and
+// clients expect, so a BFT cluster can run over real UDP sockets instead of
+// the simulator.
+type Network struct {
+	book *AddressBook
+}
+
+// NewNetwork wraps an address book.
+func NewNetwork(book *AddressBook) *Network { return &Network{book: book} }
+
+// Attach binds the principal's UDP socket and delivers datagrams to h.
+// It panics on bind errors (construction-time configuration faults), like
+// the simulator's Attach which cannot fail.
+func (n *Network) Attach(id message.NodeID, h simnet.Handler) simnet.Transport {
+	ep, err := Listen(id, n.book, h)
+	if err != nil {
+		panic(fmt.Sprintf("udpnet: attach %d: %v", id, err))
+	}
+	return ep
+}

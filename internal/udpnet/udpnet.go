@@ -1,0 +1,141 @@
+// Package udpnet is a real-network transport with the same interface as the
+// in-process simulator: UDP datagrams between principals, exactly like the
+// thesis's implementation (§6.1 "point-to-point communication between nodes
+// is implemented using UDP"). It exists so the same replica code can run
+// across processes; the benchmark harness uses simnet for control over the
+// link model.
+package udpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/message"
+	"repro/internal/simnet"
+)
+
+// MaxDatagram bounds datagram size (the thesis capped pre-prepares at 9000
+// bytes to fit common kernel configurations; we allow more for large
+// state-transfer pages).
+const MaxDatagram = 64 * 1024
+
+// AddressBook maps principals to UDP addresses.
+type AddressBook struct {
+	mu    sync.RWMutex
+	addrs map[message.NodeID]*net.UDPAddr
+}
+
+// NewAddressBook creates an empty book.
+func NewAddressBook() *AddressBook {
+	return &AddressBook{addrs: make(map[message.NodeID]*net.UDPAddr)}
+}
+
+// LocalBook maps replicas 0..n-1 (and clients from message.ClientIDBase) to
+// consecutive loopback ports starting at basePort.
+func LocalBook(n int, basePort int, clients int) (*AddressBook, error) {
+	b := NewAddressBook()
+	for i := 0; i < n; i++ {
+		if err := b.Set(message.NodeID(i), fmt.Sprintf("127.0.0.1:%d", basePort+i)); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < clients; c++ {
+		id := message.ClientIDBase + message.NodeID(c)
+		if err := b.Set(id, fmt.Sprintf("127.0.0.1:%d", basePort+n+c)); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Set registers a principal's address.
+func (b *AddressBook) Set(id message.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udpnet: resolve %q: %w", addr, err)
+	}
+	b.mu.Lock()
+	b.addrs[id] = ua
+	b.mu.Unlock()
+	return nil
+}
+
+// Lookup returns a principal's address.
+func (b *AddressBook) Lookup(id message.NodeID) (*net.UDPAddr, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.addrs[id]
+	return a, ok
+}
+
+// Endpoint is a UDP transport bound to one principal's address.
+type Endpoint struct {
+	self message.NodeID
+	book *AddressBook
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+var _ simnet.Transport = (*Endpoint)(nil)
+
+// Listen binds the principal's socket and starts delivering inbound
+// datagrams to h.
+func Listen(self message.NodeID, book *AddressBook, h simnet.Handler) (*Endpoint, error) {
+	addr, ok := book.Lookup(self)
+	if !ok {
+		return nil, fmt.Errorf("udpnet: no address for principal %d", self)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen %v: %w", addr, err)
+	}
+	ep := &Endpoint{self: self, book: book, conn: conn}
+	ep.wg.Add(1)
+	go func() {
+		defer ep.wg.Done()
+		buf := make([]byte, MaxDatagram)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return // closed
+			}
+			p := make([]byte, n)
+			copy(p, buf[:n])
+			h(p)
+		}
+	}()
+	return ep, nil
+}
+
+// Self implements simnet.Transport.
+func (ep *Endpoint) Self() message.NodeID { return ep.self }
+
+// Send implements simnet.Transport.
+func (ep *Endpoint) Send(dst message.NodeID, payload []byte) {
+	if len(payload) > MaxDatagram {
+		return
+	}
+	if addr, ok := ep.book.Lookup(dst); ok {
+		ep.conn.WriteToUDP(payload, addr) //nolint:errcheck // UDP is lossy by contract
+	}
+}
+
+// Multicast implements simnet.Transport (iterated unicast; the thesis used
+// IP multicast where available with the same semantics).
+func (ep *Endpoint) Multicast(dsts []message.NodeID, payload []byte) {
+	for _, d := range dsts {
+		if d != ep.self {
+			ep.Send(d, payload)
+		}
+	}
+}
+
+// Close implements simnet.Transport.
+func (ep *Endpoint) Close() {
+	ep.once.Do(func() {
+		ep.conn.Close()
+		ep.wg.Wait()
+	})
+}

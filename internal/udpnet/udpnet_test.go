@@ -1,0 +1,107 @@
+package udpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+)
+
+func TestLocalBookAndRoundTrip(t *testing.T) {
+	book, err := LocalBook(2, 34711, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got [][]byte
+	seen := make(chan struct{}, 16)
+
+	a, err := Listen(0, book, func(p []byte) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+		seen <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var b *Endpoint
+	b, err = Listen(1, book, func(p []byte) {
+		b.Send(0, append([]byte("echo:"), p...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.Send(1, []byte("ping"))
+	select {
+	case <-seen:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no echo")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if string(got[0]) != "echo:ping" {
+		t.Fatalf("got %q", got[0])
+	}
+}
+
+func TestMulticastSkipsSelfUDP(t *testing.T) {
+	book, err := LocalBook(3, 34761, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]chan struct{}, 3)
+	eps := make([]*Endpoint, 3)
+	for i := 0; i < 3; i++ {
+		counts[i] = make(chan struct{}, 8)
+		ch := counts[i]
+		ep, err := Listen(message.NodeID(i), book, func(p []byte) { ch <- struct{}{} })
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps[i] = ep
+	}
+	eps[0].Multicast([]message.NodeID{0, 1, 2}, []byte("m"))
+	for i := 1; i < 3; i++ {
+		select {
+		case <-counts[i]:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("endpoint %d missed multicast", i)
+		}
+	}
+	select {
+	case <-counts[0]:
+		t.Fatal("self received own multicast")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSendToUnknownIsNoop(t *testing.T) {
+	book, err := LocalBook(1, 34791, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Listen(0, book, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	ep.Send(99, []byte("void")) // must not panic
+	ep.Send(1, make([]byte, MaxDatagram+1))
+}
+
+func TestAddressBookErrors(t *testing.T) {
+	b := NewAddressBook()
+	if err := b.Set(0, "not-an-address:-1"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+	if _, ok := b.Lookup(0); ok {
+		t.Fatal("phantom address")
+	}
+}
