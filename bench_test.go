@@ -60,6 +60,11 @@ func BenchmarkE11AuthCrossover(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 func benchCluster(b *testing.B, mode pbft.Mode, n int) (*pbft.Cluster, *pbft.Client) {
+	return benchClusterOpt(b, mode, n, nil)
+}
+
+func benchClusterOpt(b *testing.B, mode pbft.Mode, n int,
+	mut func(*pbft.Config)) (*pbft.Cluster, *pbft.Client) {
 	b.Helper()
 	cfg := pbft.Config{
 		Mode:               mode,
@@ -70,6 +75,9 @@ func benchCluster(b *testing.B, mode pbft.Mode, n int) (*pbft.Cluster, *pbft.Cli
 		StatusInterval:     200 * time.Millisecond,
 		StateSize:          kvservice.MinStateSize + 128*1024,
 		Seed:               1,
+	}
+	if mut != nil {
+		mut(&cfg)
 	}
 	c := pbft.NewLocalCluster(n, cfg, kvservice.Factory, nil)
 	c.Start()
@@ -134,6 +142,36 @@ func BenchmarkOp00N13(b *testing.B) {
 // clients; ops/sec appears as the custom metric.
 func BenchmarkThroughput00(b *testing.B) {
 	c, _ := benchCluster(b, pbft.ModeMAC, 4)
+	b.ResetTimer()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		st := workload.RunClosed(func() workload.Invoker {
+			cl := c.NewClient()
+			cl.RetryTimeout = time.Second
+			return cl
+		}, 10, 30, func(int) ([]byte, bool) { return kvservice.Noop(), false })
+		total += st.Throughput()
+	}
+	b.ReportMetric(total/float64(b.N), "ops/s")
+}
+
+// BenchmarkThroughput00SerialIngress / BenchmarkThroughput00PipelinedIngress
+// pin the ingress mode explicitly (BenchmarkThroughput00 uses the adaptive
+// default): serial decodes and MAC-checks inline on each replica's event
+// loop, pipelined fans that work across the ingress pool. Comparing the two
+// ops/s metrics isolates the pipeline's contribution; see also
+// BenchmarkIngressPipeline in internal/ingress for the ingress stage alone.
+func BenchmarkThroughput00SerialIngress(b *testing.B) {
+	benchThroughputIngress(b, false)
+}
+
+func BenchmarkThroughput00PipelinedIngress(b *testing.B) {
+	benchThroughputIngress(b, true)
+}
+
+func benchThroughputIngress(b *testing.B, pipeline bool) {
+	c, _ := benchClusterOpt(b, pbft.ModeMAC, 4,
+		func(cfg *pbft.Config) { cfg.Opt.Pipeline = pipeline })
 	b.ResetTimer()
 	var total float64
 	for i := 0; i < b.N; i++ {

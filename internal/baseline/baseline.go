@@ -14,6 +14,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/simnet"
 	"repro/internal/statemachine"
+	"repro/internal/transport"
 )
 
 // ServerID is the principal id the baseline server listens on.
@@ -23,7 +24,7 @@ const ServerID message.NodeID = 0
 type Server struct {
 	region  *statemachine.Region
 	service statemachine.Service
-	trans   simnet.Transport
+	trans   transport.Transport
 	ks      *crypto.KeyStore
 
 	inbox chan []byte
@@ -131,7 +132,7 @@ func (s *Server) onRaw(p []byte) {
 type Client struct {
 	id    message.NodeID
 	ks    *crypto.KeyStore
-	trans simnet.Transport
+	trans transport.Transport
 
 	RetryTimeout time.Duration
 	MaxRetries   int

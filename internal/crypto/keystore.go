@@ -1,6 +1,55 @@
 package crypto
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// keySnapshot is one immutable generation of a KeyStore's session-key tables.
+// Readers grab the current snapshot with a single atomic load and work on it
+// without locks; writers build a new snapshot under KeyStore.mu and publish
+// it atomically (copy-on-write).
+type keySnapshot struct {
+	// inKeys[p] authenticates messages p sends to us; we chose it.
+	inKeys map[uint32][]byte
+	// inEpoch[p] is the epoch of inKeys[p] (bumped when we refresh).
+	inEpoch map[uint32]uint32
+	// outKeys[p] authenticates messages we send to p; p chose it.
+	outKeys  map[uint32][]byte
+	outEpoch map[uint32]uint32
+}
+
+func newKeySnapshot() *keySnapshot {
+	return &keySnapshot{
+		inKeys:   make(map[uint32][]byte),
+		inEpoch:  make(map[uint32]uint32),
+		outKeys:  make(map[uint32][]byte),
+		outEpoch: make(map[uint32]uint32),
+	}
+}
+
+// clone deep-copies the tables (keys themselves are never mutated in place).
+func (s *keySnapshot) clone() *keySnapshot {
+	c := &keySnapshot{
+		inKeys:   make(map[uint32][]byte, len(s.inKeys)),
+		inEpoch:  make(map[uint32]uint32, len(s.inEpoch)),
+		outKeys:  make(map[uint32][]byte, len(s.outKeys)),
+		outEpoch: make(map[uint32]uint32, len(s.outEpoch)),
+	}
+	for k, v := range s.inKeys {
+		c.inKeys[k] = v
+	}
+	for k, v := range s.inEpoch {
+		c.inEpoch[k] = v
+	}
+	for k, v := range s.outKeys {
+		c.outKeys[k] = v
+	}
+	for k, v := range s.outEpoch {
+		c.outEpoch[k] = v
+	}
+	return c
+}
 
 // KeyStore holds the symmetric session keys one principal shares with every
 // other principal, together with the epoch bookkeeping needed for the
@@ -11,99 +60,128 @@ import "sync"
 // node's "in" keys are the ones it generated (peers use them to send to it)
 // and its "out" keys are the latest ones each peer announced.
 //
-// KeyStore is safe for concurrent use: the replica event loop reads it while
-// transports may verify concurrently.
+// KeyStore is safe for concurrent use and optimized for read-mostly access:
+// the ingress pipeline's workers verify MACs against an immutable snapshot
+// (one atomic pointer load, no lock), while key refresh from the replica
+// event loop publishes a new snapshot copy-on-write. A verification that
+// races a refresh sees either the old or the new generation atomically,
+// never a torn mix — the epoch freshness check then decides acceptance.
 type KeyStore struct {
-	mu   sync.RWMutex
 	self uint32
-
-	// inKeys[p] authenticates messages p sends to us; we chose it.
-	inKeys map[uint32][]byte
-	// inEpoch[p] is the epoch of inKeys[p] (bumped when we refresh).
-	inEpoch map[uint32]uint32
-	// outKeys[p] authenticates messages we send to p; p chose it.
-	outKeys  map[uint32][]byte
-	outEpoch map[uint32]uint32
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[keySnapshot]
+	// gen counts published generations. A verifier that records the
+	// generation alongside a verdict can later detect that keys rotated in
+	// between and re-verify — the §4.3.2 stale-key defense for verdicts
+	// that cross a refresh (the epoch field in an authenticator trailer is
+	// attacker-controlled and cannot be trusted for this).
+	gen atomic.Uint64
 }
 
 // NewKeyStore creates an empty key store for principal self.
 func NewKeyStore(self uint32) *KeyStore {
-	return &KeyStore{
-		self:     self,
-		inKeys:   make(map[uint32][]byte),
-		inEpoch:  make(map[uint32]uint32),
-		outKeys:  make(map[uint32][]byte),
-		outEpoch: make(map[uint32]uint32),
-	}
+	ks := &KeyStore{self: self}
+	ks.snap.Store(newKeySnapshot())
+	return ks
 }
+
+// mutate runs fn on a private clone of the current snapshot and, if fn
+// reports a change, publishes the clone as a new generation. This is the
+// ONLY publish path: the snap.Store + gen.Add pairing is the correctness
+// core of the copy-on-write scheme and must not be duplicated. Callers
+// hold no other KeyStore locks.
+func (ks *KeyStore) mutate(fn func(*keySnapshot) bool) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	s := ks.snap.Load().clone()
+	if !fn(s) {
+		return
+	}
+	ks.snap.Store(s)
+	ks.gen.Add(1)
+}
+
+// Generation returns the current key generation. It changes exactly when a
+// mutation publishes a new snapshot, so a reader that saw the same value
+// before and after an operation worked against current keys throughout.
+func (ks *KeyStore) Generation() uint64 { return ks.gen.Load() }
 
 // InstallInitial seeds the pairwise keys between self and peer
 // deterministically, as if an offline administrator had distributed them.
 // Both ends derive the same value, so clusters come up with working keys
-// before any new-key message is exchanged.
+// before any new-key message is exchanged. Re-installing over present keys
+// is a true no-op (no new generation), so concurrent lazy installs from
+// verification workers can neither roll an epoch back nor churn the
+// generation counter.
 func (ks *KeyStore) InstallInitial(peer uint32) {
-	ks.mu.Lock()
-	defer ks.mu.Unlock()
-	// Key for peer->self traffic (chosen, conceptually, by self).
-	ks.inKeys[peer] = DeriveKey("session", uint64(peer), uint64(ks.self))
-	ks.inEpoch[peer] = 0
-	// Key for self->peer traffic (chosen by peer).
-	ks.outKeys[peer] = DeriveKey("session", uint64(ks.self), uint64(peer))
-	ks.outEpoch[peer] = 0
+	ks.mutate(func(s *keySnapshot) bool {
+		_, haveIn := s.inKeys[peer]
+		_, haveOut := s.outKeys[peer]
+		if !haveIn {
+			// Key for peer->self traffic (chosen, conceptually, by self).
+			s.inKeys[peer] = DeriveKey("session", uint64(peer), uint64(ks.self))
+			s.inEpoch[peer] = 0
+		}
+		if !haveOut {
+			// Key for self->peer traffic (chosen by peer).
+			s.outKeys[peer] = DeriveKey("session", uint64(ks.self), uint64(peer))
+			s.outEpoch[peer] = 0
+		}
+		return !haveIn || !haveOut
+	})
 }
 
 // RefreshIn generates a fresh key for messages from peer to self and returns
 // it so it can be shipped to peer in a new-key message. epoch must be the
 // sender's new epoch number.
 func (ks *KeyStore) RefreshIn(peer uint32, epoch uint32, seed uint64) []byte {
-	ks.mu.Lock()
-	defer ks.mu.Unlock()
 	k := DeriveKey("refresh", uint64(peer), uint64(ks.self), uint64(epoch), seed)
-	ks.inKeys[peer] = k
-	ks.inEpoch[peer] = epoch
+	ks.mutate(func(s *keySnapshot) bool {
+		s.inKeys[peer] = k
+		s.inEpoch[peer] = epoch
+		return true
+	})
 	return k
 }
 
 // SetOut installs the key peer announced for self->peer traffic.
 func (ks *KeyStore) SetOut(peer uint32, key []byte, epoch uint32) {
-	ks.mu.Lock()
-	defer ks.mu.Unlock()
-	ks.outKeys[peer] = key
-	ks.outEpoch[peer] = epoch
+	ks.mutate(func(s *keySnapshot) bool {
+		s.outKeys[peer] = key
+		s.outEpoch[peer] = epoch
+		return true
+	})
 }
 
 // OutKey returns the key and epoch for sending to peer.
 func (ks *KeyStore) OutKey(peer uint32) ([]byte, uint32) {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	return ks.outKeys[peer], ks.outEpoch[peer]
+	s := ks.snap.Load()
+	return s.outKeys[peer], s.outEpoch[peer]
 }
 
 // InKey returns the key and epoch expected on traffic from peer.
 func (ks *KeyStore) InKey(peer uint32) ([]byte, uint32) {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
-	return ks.inKeys[peer], ks.inEpoch[peer]
+	s := ks.snap.Load()
+	return s.inKeys[peer], s.inEpoch[peer]
 }
 
 // MakeAuthenticator computes the vector of MACs for a payload multicast by
 // self to principals [0, n). Entry self is left zero.
 func (ks *KeyStore) MakeAuthenticator(n int, payload []byte) Authenticator {
-	ks.mu.RLock()
-	defer ks.mu.RUnlock()
+	s := ks.snap.Load()
 	a := Authenticator{MACs: make([]MAC, n)}
 	for p := 0; p < n; p++ {
 		if uint32(p) == ks.self {
 			continue
 		}
-		key := ks.outKeys[uint32(p)]
+		key := s.outKeys[uint32(p)]
 		if key == nil {
 			continue
 		}
 		a.MACs[p] = ComputeMAC(key, payload)
 		// All out keys share the sender's view of epochs; report the max so
 		// receivers with refreshed keys can detect staleness.
-		if e := ks.outEpoch[uint32(p)]; e > a.Epoch {
+		if e := s.outEpoch[uint32(p)]; e > a.Epoch {
 			a.Epoch = e
 		}
 	}
@@ -116,17 +194,15 @@ func (ks *KeyStore) MakeAuthenticator(n int, payload []byte) Authenticator {
 // is how recovered replicas shed messages forged with stolen keys
 // (Section 4.3.2).
 func (ks *KeyStore) CheckAuthenticator(from uint32, payload []byte, a Authenticator) bool {
-	ks.mu.RLock()
-	key := ks.inKeys[from]
-	epoch := ks.inEpoch[from]
-	ks.mu.RUnlock()
+	s := ks.snap.Load()
+	key := s.inKeys[from]
 	if key == nil {
 		return false
 	}
 	if int(ks.self) >= len(a.MACs) {
 		return false
 	}
-	if a.Epoch < epoch {
+	if a.Epoch < s.inEpoch[from] {
 		return false
 	}
 	return VerifyMAC(key, payload, a.MACs[ks.self])
@@ -135,9 +211,7 @@ func (ks *KeyStore) CheckAuthenticator(from uint32, payload []byte, a Authentica
 // ComputePointMAC computes the single MAC for a point-to-point message from
 // self to peer.
 func (ks *KeyStore) ComputePointMAC(peer uint32, payload []byte) MAC {
-	ks.mu.RLock()
-	key := ks.outKeys[peer]
-	ks.mu.RUnlock()
+	key, _ := ks.OutKey(peer)
 	if key == nil {
 		return MAC{}
 	}
@@ -146,9 +220,7 @@ func (ks *KeyStore) ComputePointMAC(peer uint32, payload []byte) MAC {
 
 // CheckPointMAC verifies a point-to-point MAC from peer to self.
 func (ks *KeyStore) CheckPointMAC(peer uint32, payload []byte, m MAC) bool {
-	ks.mu.RLock()
-	key := ks.inKeys[peer]
-	ks.mu.RUnlock()
+	key, _ := ks.InKey(peer)
 	if key == nil {
 		return false
 	}

@@ -183,6 +183,7 @@ func E3Ablation(scale int) []*Table {
 		{"no batching", func(c *pbft.Config) { c.Opt.Batching = false }},
 		{"no separate req", func(c *pbft.Config) { c.Opt.SeparateRequests = false }},
 		{"no read-only opt", func(c *pbft.Config) { c.Opt.ReadOnly = false }},
+		{"serial ingress", func(c *pbft.Config) { c.Opt.Pipeline = false }},
 		{"signatures (BFT-PK)", func(c *pbft.Config) { c.Mode = pbft.ModePK }},
 	}
 	lat := &Table{
@@ -197,6 +198,11 @@ func E3Ablation(scale int) []*Table {
 	}
 	for _, v := range variants {
 		cfg := benchConfig(pbft.ModeMAC)
+		// Pin the pipeline on before each mutation (the default adapts to
+		// core count): every row then differs from "full BFT" by exactly
+		// the named optimization, and "serial ingress" is a real ablation
+		// on any host.
+		cfg.Opt.Pipeline = true
 		v.mut(&cfg)
 		c := newKVCluster(4, cfg)
 		cl := c.NewClient()

@@ -1,0 +1,69 @@
+package ingress
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/message"
+)
+
+// BenchmarkIngressPipeline compares the serial receive path (decode + MAC
+// verification inline, as Replica.onRaw does with the pipeline off) against
+// the worker pool at 1/2/4/8 workers. The workload is MAC-authenticated
+// requests with a 1 KiB operation — the neighborhood of the paper's 0/4 and
+// 4/0 benchmark operations (§8.3.2). ns/op is per verified message, so
+// verified-messages/sec = 1e9 / (ns/op).
+func BenchmarkIngressPipeline(b *testing.B) {
+	const (
+		opSize   = 1024
+		preGen   = 4096
+		queueCap = 16384
+	)
+	raws, rks := makeAuthedRequests(1000, preGen, opSize)
+	verify := keystoreVerifier(rks)
+
+	b.Run("serial", func(b *testing.B) {
+		count := 0
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raws[0])))
+		for i := 0; i < b.N; i++ {
+			m, err := message.Unmarshal(raws[i%preGen])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok, _ := verify.Verify(m); ok {
+				count++
+			}
+		}
+		if count != b.N {
+			b.Fatalf("verified %d/%d", count, b.N)
+		}
+	})
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			done := make(chan struct{})
+			count := 0
+			p := New(workers, queueCap, verify, func(m message.Message, ok bool, _ uint64) {
+				if !ok {
+					b.Error("authentic message failed verification")
+				}
+				count++
+				if count == b.N {
+					close(done)
+				}
+			})
+			defer p.Close()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(raws[0])))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !p.Submit(raws[i%preGen]) {
+					runtime.Gosched() // backpressure: wait for queue headroom
+				}
+			}
+			<-done
+		})
+	}
+}

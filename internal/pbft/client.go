@@ -6,8 +6,9 @@ import (
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/ingress"
 	"repro/internal/message"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // ErrClientClosed is returned by Invoke after Close.
@@ -25,7 +26,8 @@ type Client struct {
 	ks   *crypto.KeyStore
 	kp   crypto.KeyPair
 
-	trans simnet.Transport
+	trans transport.Transport
+	pipe  *ingress.Pipeline
 
 	// RetryTimeout is the base retransmission timeout; it backs off
 	// exponentially like the adaptive scheme of §5.2.
@@ -81,7 +83,31 @@ func NewClient(id message.NodeID, dir *Directory, net Network, mode Mode, opt Op
 	for i := 0; i < dir.N(); i++ {
 		c.ks.InstallInitial(uint32(i))
 	}
-	c.trans = net.Attach(id, c.onRaw)
+	if opt.Pipeline {
+		// Same staged ingress as replicas — reply decode + MAC verification
+		// off the transport read loop, vote counting on the collector — but
+		// sized for a client's traffic: one point MAC per reply needs no
+		// pool, so default to a single worker unless callers ask for more
+		// (a GOMAXPROCS-wide pool per client would just multiply goroutines
+		// across the many-client benchmark harnesses).
+		workers := opt.PipelineWorkers
+		if workers <= 0 {
+			workers = 1
+		}
+		// A client awaits one reply certificate at a time, so a shallow
+		// queue suffices; benchmark harnesses park hundreds of clients per
+		// cluster and deep queues would dominate their footprint.
+		c.pipe = ingress.New(workers, 256,
+			ingress.VerifierFunc(c.verifyInbound),
+			func(m message.Message, ok bool, _ uint64) {
+				if rep, isRep := m.(*message.Reply); isRep && ok {
+					c.onReply(rep)
+				}
+			})
+		c.trans = net.Attach(id, func(p []byte) { c.pipe.Submit(p) })
+	} else {
+		c.trans = net.Attach(id, c.onRaw)
+	}
 	return c
 }
 
@@ -94,6 +120,9 @@ func (c *Client) Close() {
 	c.closed = true
 	c.mu.Unlock()
 	c.trans.Close()
+	if c.pipe != nil {
+		c.pipe.Close()
+	}
 }
 
 func (c *Client) f() int { return (c.dir.N() - 1) / 3 }
@@ -211,7 +240,19 @@ func (c *Client) authRequest(req *message.Request) {
 	}
 }
 
-// onRaw handles replies from replicas.
+// verifyInbound authenticates one decoded message for the ingress
+// pipeline: only replies addressed to this client can verify. The tag is
+// unused — clients never rotate their session keys mid-run, so a reply
+// verdict cannot go stale the way a replica's can.
+func (c *Client) verifyInbound(m message.Message) (bool, uint64) {
+	rep, ok := m.(*message.Reply)
+	if !ok || rep.Client != c.id {
+		return false, 0
+	}
+	return c.verifyReply(rep), 0
+}
+
+// onRaw handles replies from replicas (serial path).
 func (c *Client) onRaw(b []byte) {
 	m, err := message.Unmarshal(b)
 	if err != nil {
@@ -224,7 +265,11 @@ func (c *Client) onRaw(b []byte) {
 	if !c.verifyReply(rep) {
 		return
 	}
+	c.onReply(rep)
+}
 
+// onReply folds one authenticated reply into the pending certificate.
+func (c *Client) onReply(rep *message.Reply) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if rep.View > c.view {

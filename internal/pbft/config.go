@@ -14,6 +14,8 @@ package pbft
 
 import (
 	"crypto/ed25519"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/message"
@@ -65,9 +67,20 @@ type Options struct {
 	SeparateRequests bool
 	// InlineThreshold is the size cutoff for inlining (thesis: 255 bytes).
 	InlineThreshold int
+	// Pipeline moves datagram decode and MAC/signature verification off
+	// the event loop onto a parallel worker pool (internal/ingress), so
+	// ingress crypto scales across cores instead of capping throughput at
+	// one. Protocol state stays single-threaded; per-sender message order
+	// is preserved.
+	Pipeline bool
+	// PipelineWorkers sets the ingress pool size; 0 means GOMAXPROCS.
+	PipelineWorkers int
 }
 
 // DefaultOptions enables everything, like the thesis's BFT configuration.
+// The ingress pipeline is enabled when more than one core is available;
+// on a single core the worker pool only adds scheduling overhead, so the
+// serial path is kept (set Pipeline explicitly to force either).
 func DefaultOptions() Options {
 	return Options{
 		DigestReplies:    true,
@@ -78,6 +91,7 @@ func DefaultOptions() Options {
 		Window:           8,
 		SeparateRequests: true,
 		InlineThreshold:  255,
+		Pipeline:         runtime.GOMAXPROCS(0) > 1,
 	}
 }
 
@@ -141,6 +155,15 @@ type Config struct {
 	KeyRefreshInterval time.Duration
 	WatchdogInterval   time.Duration
 
+	// InboxCap bounds the replica's receive queue; overflow models
+	// receive-buffer loss and is counted in Metrics.InboxDrops. On the
+	// pipelined path it bounds EACH stage queue (submit order, work, and
+	// verified inbox), so total in-flight buffering can reach ~3x this
+	// value — serial and pipelined drop behavior are comparable in kind,
+	// not slot-for-slot. Default 8192. (Clients use a small fixed ingress
+	// queue; only replicas are flooded in experiments.)
+	InboxCap int
+
 	// QSetBound, when positive, bounds the number of (digest, view) pairs
 	// retained per sequence number in the QSet — the bounded-space view
 	// change of §3.2.5 (the thesis suggests a small constant like 2). Zero
@@ -192,15 +215,21 @@ func (c *Config) Validate() {
 	if c.Opt.InlineThreshold == 0 {
 		c.Opt.InlineThreshold = 255
 	}
+	if c.InboxCap == 0 {
+		c.InboxCap = 8192
+	}
 }
 
 // F returns the fault threshold (N-1)/3.
 func (c *Config) F() int { return (c.N - 1) / 3 }
 
 // Directory is the public-key and identity registry shared by all
-// principals — the role the read-only memory plays in §4.2.
+// principals — the role the read-only memory plays in §4.2. Clients appear
+// dynamically while replicas (and their ingress verification workers) read
+// it, so lookups take a read lock.
 type Directory struct {
 	n    int
+	mu   sync.RWMutex
 	keys map[message.NodeID]ed25519.PublicKey
 }
 
@@ -223,12 +252,16 @@ func (d *Directory) ReplicaIDs() []message.NodeID {
 
 // Register records a principal's public key.
 func (d *Directory) Register(id message.NodeID, pub ed25519.PublicKey) {
+	d.mu.Lock()
 	d.keys[id] = pub
+	d.mu.Unlock()
 }
 
 // PublicKey returns a principal's public key.
 func (d *Directory) PublicKey(id message.NodeID) (ed25519.PublicKey, bool) {
+	d.mu.RLock()
 	k, ok := d.keys[id]
+	d.mu.RUnlock()
 	return k, ok
 }
 

@@ -1,0 +1,164 @@
+package pbft
+
+// Tests for the staged ingress pipeline (internal/ingress) and its serial
+// fallback. The rest of the suite runs with the pipeline ON (DefaultOptions
+// enables it), so these tests pin down the OFF path, cross-mode agreement,
+// and the inbox-overflow accounting.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvservice"
+	"repro/internal/message"
+	"repro/internal/simnet"
+)
+
+// serialConfig is testConfig with the ingress pipeline disabled.
+func serialConfig() Config {
+	cfg := testConfig()
+	cfg.Opt.Pipeline = false
+	return cfg
+}
+
+func TestSerialIngressInvoke(t *testing.T) {
+	// The pipeline-off path must still serve requests (it is the benchmark
+	// baseline and the degenerate single-core configuration).
+	c := newTestCluster(t, 4, serialConfig(), nil)
+	cl := c.NewClient()
+	for i := 1; i <= 5; i++ {
+		res := mustInvoke(t, cl, kvservice.Incr(), false)
+		if got := kvservice.DecodeU64(res); got != uint64(i) {
+			t.Fatalf("incr %d returned %d", i, got)
+		}
+	}
+	res := mustInvoke(t, cl, kvservice.Get(), true)
+	if got := kvservice.DecodeU64(res); got != 5 {
+		t.Fatalf("read-only get returned %d, want 5", got)
+	}
+}
+
+func TestSerialIngressViewChange(t *testing.T) {
+	c := newTestCluster(t, 4, serialConfig(), map[message.NodeID]Behavior{
+		0: SilentPrimary,
+	})
+	cl := c.NewClient()
+	cl.MaxRetries = 30
+	res := mustInvoke(t, cl, kvservice.Incr(), false)
+	if got := kvservice.DecodeU64(res); got != 1 {
+		t.Fatalf("incr -> %d", got)
+	}
+	if v := c.Replica(1).View(); v < 1 {
+		t.Fatalf("system settled in view %d, expected >= 1", v)
+	}
+}
+
+func TestPipelineSerialAgreement(t *testing.T) {
+	// The pipeline preserves arrival order, so both ingress modes must
+	// produce identical execution histories for the same workload.
+	run := func(pipeline bool) []uint64 {
+		cfg := testConfig()
+		cfg.Opt.Pipeline = pipeline
+		c := NewLocalCluster(4, cfg, kvservice.Factory, nil)
+		c.Start()
+		defer c.Stop()
+		cl := c.NewClient()
+		var out []uint64
+		for i := 0; i < 10; i++ {
+			res := mustInvoke(t, cl, kvservice.Incr(), false)
+			out = append(out, kvservice.DecodeU64(res))
+		}
+		return out
+	}
+	serial, pipelined := run(false), run(true)
+	for i := range serial {
+		if serial[i] != pipelined[i] {
+			t.Fatalf("histories diverge at op %d: serial=%d pipelined=%d",
+				i, serial[i], pipelined[i])
+		}
+	}
+}
+
+func TestPipelineMixedClusterAgreement(t *testing.T) {
+	// Pipelined and serial replicas interoperate in one group: the wire
+	// format and protocol are unchanged, only the receive path differs.
+	cfg := testConfig()
+	net := simnet.New(simnet.WithSeed(cfg.Seed + 7))
+	t.Cleanup(func() { net.Close() })
+	cfg.N = 4
+	cfg.Validate()
+	dir := NewDirectory(4)
+	var reps []*Replica
+	for i := 0; i < 4; i++ {
+		rc := cfg
+		rc.ID = message.NodeID(i)
+		rc.Opt.Pipeline = i%2 == 0 // replicas 0,2 pipelined; 1,3 serial
+		r := NewReplica(rc, dir, net, kvservice.Factory)
+		reps = append(reps, r)
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+	})
+	cl := NewClient(message.ClientIDBase, dir, net, cfg.Mode, cfg.Opt)
+	t.Cleanup(cl.Close)
+	for i := 1; i <= 8; i++ {
+		res, err := cl.Invoke(kvservice.Incr(), false)
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		if got := kvservice.DecodeU64(res); got != uint64(i) {
+			t.Fatalf("incr %d -> %d", i, got)
+		}
+	}
+}
+
+func TestInboxOverflowCounted(t *testing.T) {
+	// Flood an unstarted replica (its event loop consumes nothing) past its
+	// tiny inbox: the drops the attach handler used to swallow silently
+	// must now be counted.
+	for _, pipeline := range []bool{false, true} {
+		name := "serial"
+		if pipeline {
+			name = "pipelined"
+		}
+		t.Run(name, func(t *testing.T) {
+			net := simnet.New(simnet.WithSeed(1))
+			t.Cleanup(func() { net.Close() })
+			cfg := testConfig()
+			cfg.ID = 0
+			cfg.N = 4
+			cfg.InboxCap = 4
+			cfg.Opt.Pipeline = pipeline
+			dir := NewDirectory(4)
+			r := NewReplica(cfg, dir, net, kvservice.Factory) // not started yet
+			t.Cleanup(r.Stop)                                 // Stop without Start is safe
+
+			attacker := newRawSender(net, message.ClientIDBase+9)
+			payload := (&message.Request{
+				Client:    message.ClientIDBase + 9,
+				Timestamp: 1,
+				Replier:   message.NoNode,
+				Op:        kvservice.Get(),
+			}).Marshal()
+			for i := 0; i < 256; i++ {
+				attacker.trans.Send(0, payload)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for r.inboxDrops.Load() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("no inbox drops counted after flooding a full inbox")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			// The counter must surface through the public snapshot too.
+			r.Start()
+			m := r.Metrics()
+			if m.InboxDrops == 0 {
+				t.Fatal("Metrics().InboxDrops = 0 after overflow")
+			}
+		})
+	}
+}

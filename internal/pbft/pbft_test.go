@@ -13,10 +13,15 @@ import (
 )
 
 // testConfig returns a small, fast configuration for integration tests.
+// The ingress pipeline is forced on (DefaultOptions adapts it to the core
+// count) so the whole protocol suite exercises the pipelined receive path
+// on any machine; ingress_test.go covers the serial path explicitly.
 func testConfig() Config {
+	opt := DefaultOptions()
+	opt.Pipeline = true
 	return Config{
 		Mode:               ModeMAC,
-		Opt:                DefaultOptions(),
+		Opt:                opt,
 		CheckpointInterval: 16,
 		LogWindow:          32,
 		ViewChangeTimeout:  150 * time.Millisecond,

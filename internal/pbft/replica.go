@@ -3,13 +3,15 @@ package pbft
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/crypto"
+	"repro/internal/ingress"
 	"repro/internal/message"
-	"repro/internal/simnet"
 	"repro/internal/statemachine"
+	"repro/internal/transport"
 	"repro/internal/vlog"
 )
 
@@ -29,6 +31,10 @@ type Metrics struct {
 	RecoveriesCompleted uint64
 	LastRecoveryTime    time.Duration
 	MsgsDroppedBadAuth  uint64
+	// InboxDrops counts datagrams lost to receive-queue overflow (the
+	// attach handler's non-blocking enqueue, or ingress pipeline
+	// saturation). It is maintained atomically outside the event loop.
+	InboxDrops uint64
 }
 
 type cachedReply struct {
@@ -53,14 +59,22 @@ type Replica struct {
 	f   int
 	dir *Directory
 
-	ks *crypto.KeyStore
-	kp crypto.KeyPair
+	ks   *crypto.KeyStore
+	kp   crypto.KeyPair
+	auth verifier
 
-	trans simnet.Transport
-	inbox chan []byte
-	ctrl  chan func()
-	stopC chan struct{}
-	wg    sync.WaitGroup
+	trans transport.Transport
+	// inbox carries raw datagrams on the serial path; inboxV carries
+	// decoded, pre-verified messages from the ingress pipeline. Exactly one
+	// of the two is allocated, selected by cfg.Opt.Pipeline (the nil one's
+	// event-loop case simply never fires).
+	inbox      chan []byte
+	inboxV     chan inbound
+	pipe       *ingress.Pipeline
+	inboxDrops atomic.Uint64
+	ctrl       chan func()
+	stopC      chan struct{}
+	wg         sync.WaitGroup
 
 	// Protocol state.
 	view   message.View
@@ -112,9 +126,17 @@ type Replica struct {
 }
 
 // Network is the attachment point replicas and clients need: the simulated
-// network and the UDP book both provide it.
-type Network interface {
-	Attach(id message.NodeID, h simnet.Handler) simnet.Transport
+// network and the UDP book both provide it. The definition lives in
+// internal/transport so every substrate shares it.
+type Network = transport.Network
+
+// inbound is one decoded message plus its authentication verdict and the
+// key generation the verdict was computed under, produced by the ingress
+// pipeline and consumed by the event loop.
+type inbound struct {
+	m   message.Message
+	ok  bool
+	gen uint64
 }
 
 // NewReplica constructs a replica. The service factory receives the region
@@ -130,7 +152,6 @@ func NewReplica(cfg Config, dir *Directory, net Network,
 		dir:          dir,
 		ks:           crypto.NewKeyStore(uint32(cfg.ID)),
 		kp:           crypto.GenerateKeyPair(crypto.DeriveKey("replica-identity", uint64(cfg.ID))),
-		inbox:        make(chan []byte, 8192),
 		ctrl:         make(chan func(), 64),
 		stopC:        make(chan struct{}),
 		view:         0,
@@ -159,10 +180,37 @@ func NewReplica(cfg Config, dir *Directory, net Network,
 	r.initFetchState()
 	r.initRecoveryState()
 
+	r.auth = verifier{mode: cfg.Mode, dir: dir, ks: r.ks}
+	if cfg.Opt.Pipeline {
+		// Staged ingress: the transport handler fans datagrams across the
+		// worker pool, which decodes and authenticates in parallel and
+		// re-sequences results into arrival order before the event loop.
+		r.inboxV = make(chan inbound, cfg.InboxCap)
+		r.pipe = ingress.New(cfg.Opt.PipelineWorkers, cfg.InboxCap,
+			ingress.VerifierFunc(r.auth.VerifyTagged),
+			func(m message.Message, ok bool, gen uint64) {
+				select {
+				case r.inboxV <- inbound{m, ok, gen}:
+				default: // inbox overflow models receive-buffer loss
+					r.inboxDrops.Add(1)
+				}
+			})
+		r.trans = net.Attach(r.id, func(p []byte) {
+			if r.cfg.Behavior == Crashed {
+				return // fail-stop: burn no worker cycles, like the serial path
+			}
+			if !r.pipe.Submit(p) {
+				r.inboxDrops.Add(1)
+			}
+		})
+		return r
+	}
+	r.inbox = make(chan []byte, cfg.InboxCap)
 	r.trans = net.Attach(r.id, func(p []byte) {
 		select {
 		case r.inbox <- p:
 		default: // inbox overflow models receive-buffer loss
+			r.inboxDrops.Add(1)
 		}
 	})
 	return r
@@ -194,6 +242,9 @@ func (r *Replica) Stop() {
 	close(r.stopC)
 	r.wg.Wait()
 	r.trans.Close()
+	if r.pipe != nil {
+		r.pipe.Close()
+	}
 }
 
 // ID returns the replica id.
@@ -217,6 +268,7 @@ func (r *Replica) do(fn func()) {
 func (r *Replica) Metrics() Metrics {
 	var m Metrics
 	r.do(func() { m = r.metrics })
+	m.InboxDrops = r.inboxDrops.Load()
 	return m
 }
 
@@ -273,6 +325,18 @@ func (r *Replica) run() {
 				continue
 			}
 			r.onRaw(p)
+		case im := <-r.inboxV:
+			if r.cfg.Behavior == Crashed {
+				continue
+			}
+			if im.ok && im.gen != r.ks.Generation() {
+				// Keys rotated after the worker verified (§4.3.2): the
+				// verdict may rest on a stolen pre-refresh key, so
+				// re-verify against the current generation. Refreshes are
+				// rare, so this almost never runs.
+				im.ok = r.verify(im.m)
+			}
+			r.onVerified(im.m, im.ok)
 		case <-ticker.C:
 			if r.cfg.Behavior == Crashed {
 				continue
@@ -306,17 +370,26 @@ func (r *Replica) onTick(now time.Time) {
 	r.recoveryTick(now)
 }
 
-// onRaw decodes, authenticates, and dispatches one datagram.
+// onRaw decodes, authenticates, and dispatches one datagram — the serial
+// ingress path, kept both as the pipeline-off baseline and for benchmarks.
 func (r *Replica) onRaw(p []byte) {
 	m, err := message.Unmarshal(p)
 	if err != nil {
 		return
 	}
-	if !r.verify(m) {
+	r.onVerified(m, r.verify(m))
+}
+
+// onVerified dispatches one decoded message given its authentication
+// verdict. It runs on the event loop whether the verdict came from the
+// inline verify (serial path) or an ingress worker (pipelined path), so all
+// protocol state stays single-threaded.
+func (r *Replica) onVerified(m message.Message, ok bool) {
+	if !ok {
 		// A relayed view-change may carry a stale authenticator (its sender
 		// refreshed keys or the relay is second-hand); §3.2.4 still lets us
 		// accept it when its digest is pinned by a new-view certificate.
-		if vc, ok := m.(*message.ViewChange); ok {
+		if vc, isVC := m.(*message.ViewChange); isVC {
 			r.onUnauthenticatedViewChange(vc)
 			return
 		}
@@ -418,57 +491,14 @@ func (r *Replica) authSigned(m message.Message) {
 
 // ensurePeerKeys lazily installs the administrator-distributed initial keys
 // for a principal first seen now (clients appear dynamically).
-func (r *Replica) ensurePeerKeys(peer message.NodeID) {
-	if k, _ := r.ks.OutKey(uint32(peer)); k == nil {
-		r.ks.InstallInitial(uint32(peer))
-	}
-}
+func (r *Replica) ensurePeerKeys(peer message.NodeID) { r.auth.ensurePeerKeys(peer) }
 
 // verifySig checks a signature trailer against the directory.
-func (r *Replica) verifySig(m message.Message) bool {
-	a := m.AuthTrailer()
-	if a.Kind != message.AuthSig {
-		return false
-	}
-	pub, ok := r.dir.PublicKey(m.Sender())
-	if !ok {
-		return false
-	}
-	return crypto.Verify(pub, m.Payload(), a.Sig)
-}
+func (r *Replica) verifySig(m message.Message) bool { return r.auth.verifySig(m) }
 
-// verify authenticates an inbound message according to mode and type.
-func (r *Replica) verify(m message.Message) bool {
-	sender := m.Sender()
-	a := m.AuthTrailer()
-
-	switch m.(type) {
-	case *message.Data, *message.BatchBody:
-		// Content-addressed: verified against known digests (§5.3.2).
-		return true
-	case *message.NewKey:
-		return r.verifySig(m)
-	}
-
-	if req, ok := m.(*message.Request); ok && req.Recovery() {
-		return r.verifySig(m) // recovery requests are co-processor signed
-	}
-
-	if r.cfg.Mode == ModePK {
-		return r.verifySig(m)
-	}
-
-	switch a.Kind {
-	case message.AuthVector:
-		r.ensurePeerKeys(sender)
-		return r.ks.CheckAuthenticator(uint32(sender), m.Payload(), a.Vector)
-	case message.AuthMAC:
-		r.ensurePeerKeys(sender)
-		return r.ks.CheckPointMAC(uint32(sender), m.Payload(), a.MAC)
-	default:
-		return false
-	}
-}
+// verify authenticates an inbound message according to mode and type. The
+// logic lives in verifier so ingress workers share it.
+func (r *Replica) verify(m message.Message) bool { return r.auth.Verify(m) }
 
 // ---------------------------------------------------------------------------
 // Sending

@@ -11,11 +11,12 @@ import (
 	"repro/internal/kvservice"
 	"repro/internal/message"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // rawSender lets tests inject hand-crafted datagrams as an attacker would.
 type rawSender struct {
-	trans simnet.Transport
+	trans transport.Transport
 }
 
 func newRawSender(net *simnet.Network, id message.NodeID) *rawSender {

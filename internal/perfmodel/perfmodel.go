@@ -15,6 +15,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/message"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Params are the model's calibrated constants (§7.1, §7.2).
@@ -210,11 +211,11 @@ func measureComm(link simnet.LinkConfig) (fixed, perByte time.Duration) {
 	net := simnet.New(simnet.WithSeed(1), simnet.WithDefaults(link))
 	defer net.Close()
 	pong := make(chan int, 1)
-	var echo simnet.Transport
+	var echo transport.Transport
 	echo = net.Attach(message.NodeID(1), func(b []byte) {
 		echo.Send(0, b)
 	})
-	var ping simnet.Transport
+	var ping transport.Transport
 	ping = net.Attach(message.NodeID(0), func(b []byte) {
 		pong <- len(b)
 	})

@@ -17,23 +17,8 @@ import (
 	"time"
 
 	"repro/internal/message"
+	"repro/internal/transport"
 )
-
-// Handler consumes a raw datagram delivered to an endpoint.
-type Handler func(payload []byte)
-
-// Transport is the sending half an endpoint uses. Both the simulated network
-// and the UDP transport implement it.
-type Transport interface {
-	// Self returns this endpoint's principal id.
-	Self() message.NodeID
-	// Send transmits one datagram to dst.
-	Send(dst message.NodeID, payload []byte)
-	// Multicast transmits one datagram to every id in dsts.
-	Multicast(dsts []message.NodeID, payload []byte)
-	// Close detaches the endpoint.
-	Close()
-}
 
 // LinkConfig sets the delay/loss model for one direction of one link (or the
 // network default).
@@ -174,8 +159,8 @@ func (n *Network) Close() {
 }
 
 // Attach registers an endpoint and starts a dispatch goroutine invoking h
-// serially for each delivered datagram.
-func (n *Network) Attach(id message.NodeID, h Handler) Transport {
+// serially for each delivered datagram. It implements transport.Network.
+func (n *Network) Attach(id message.NodeID, h transport.Handler) transport.Transport {
 	ep := &endpoint{
 		id:    id,
 		net:   n,
@@ -420,17 +405,20 @@ func (n *Network) run() {
 	}
 }
 
-// --- endpoint (Transport implementation) ---
+// --- endpoint (transport.Transport implementation) ---
 
-// Self implements Transport.
+var _ transport.Transport = (*endpoint)(nil)
+var _ transport.Network = (*Network)(nil)
+
+// Self implements transport.Transport.
 func (ep *endpoint) Self() message.NodeID { return ep.id }
 
-// Send implements Transport.
+// Send implements transport.Transport.
 func (ep *endpoint) Send(dst message.NodeID, payload []byte) {
 	ep.net.send(ep.id, dst, payload)
 }
 
-// Multicast implements Transport.
+// Multicast implements transport.Transport.
 func (ep *endpoint) Multicast(dsts []message.NodeID, payload []byte) {
 	for _, d := range dsts {
 		if d != ep.id {
@@ -439,7 +427,7 @@ func (ep *endpoint) Multicast(dsts []message.NodeID, payload []byte) {
 	}
 }
 
-// Close implements Transport.
+// Close implements transport.Transport.
 func (ep *endpoint) Close() {
 	ep.once.Do(func() {
 		close(ep.stop)

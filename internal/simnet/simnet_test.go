@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"repro/internal/transport"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -160,7 +161,7 @@ func TestPartitionAndHeal(t *testing.T) {
 	n := New(WithSeed(1))
 	defer n.Close()
 	cs := make([]*collector, 4)
-	ts := make([]Transport, 4)
+	ts := make([]transport.Transport, 4)
 	for i := range cs {
 		cs[i] = newCollector()
 		ts[i] = n.Attach(message.NodeID(i), cs[i].handler)
@@ -311,7 +312,7 @@ func TestConcurrentSendersNoRace(t *testing.T) {
 	for i := 0; i < senders; i++ {
 		tr := n.Attach(message.NodeID(i), func([]byte) {})
 		wg.Add(1)
-		go func(tr Transport) {
+		go func(tr transport.Transport) {
 			defer wg.Done()
 			for j := 0; j < each; j++ {
 				tr.Send(9, []byte{1})

@@ -1,0 +1,42 @@
+// Package transport defines the datagram abstractions every network
+// substrate implements: the in-process simulator (internal/simnet) and the
+// real UDP transport (internal/udpnet). The protocol engine in internal/pbft
+// is written purely against these interfaces, so the same replica code runs
+// in simulation and across processes — the structure of §6.1 of Castro's
+// thesis, where the replication library sits on an unreliable point-to-point
+// datagram service.
+//
+// A Network hands each principal a Transport (its sending half) and invokes
+// its Handler serially, in arrival order, for each inbound datagram. The
+// serial-delivery contract is what lets the ingress pipeline
+// (internal/ingress) preserve per-sender ordering while fanning decode and
+// authentication across a worker pool.
+package transport
+
+import "repro/internal/message"
+
+// Handler consumes one raw datagram delivered to an endpoint. A Network
+// invokes it from a single goroutine per endpoint, in arrival order; the
+// handler must not block for long or it backs up the receive queue (exactly
+// like a UDP socket buffer).
+type Handler func(payload []byte)
+
+// Transport is the sending half an endpoint uses.
+type Transport interface {
+	// Self returns this endpoint's principal id.
+	Self() message.NodeID
+	// Send transmits one datagram to dst.
+	Send(dst message.NodeID, payload []byte)
+	// Multicast transmits one datagram to every id in dsts.
+	Multicast(dsts []message.NodeID, payload []byte)
+	// Close detaches the endpoint.
+	Close()
+}
+
+// Network is the attachment point replicas and clients need; the simulated
+// network and the UDP address book both provide it.
+type Network interface {
+	// Attach registers an endpoint that receives datagrams through h and
+	// returns its sending half.
+	Attach(id message.NodeID, h Handler) Transport
+}

@@ -4,15 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/message"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
-// Network adapts an AddressBook to the attachment interface replicas and
-// clients expect, so a BFT cluster can run over real UDP sockets instead of
-// the simulator.
+// Network adapts an AddressBook to transport.Network, so a BFT cluster can
+// run over real UDP sockets instead of the simulator.
 type Network struct {
 	book *AddressBook
 }
+
+var _ transport.Network = (*Network)(nil)
 
 // NewNetwork wraps an address book.
 func NewNetwork(book *AddressBook) *Network { return &Network{book: book} }
@@ -20,7 +21,7 @@ func NewNetwork(book *AddressBook) *Network { return &Network{book: book} }
 // Attach binds the principal's UDP socket and delivers datagrams to h.
 // It panics on bind errors (construction-time configuration faults), like
 // the simulator's Attach which cannot fail.
-func (n *Network) Attach(id message.NodeID, h simnet.Handler) simnet.Transport {
+func (n *Network) Attach(id message.NodeID, h transport.Handler) transport.Transport {
 	ep, err := Listen(id, n.book, h)
 	if err != nil {
 		panic(fmt.Sprintf("udpnet: attach %d: %v", id, err))

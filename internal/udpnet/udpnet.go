@@ -12,7 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/message"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // MaxDatagram bounds datagram size (the thesis capped pre-prepares at 9000
@@ -78,11 +78,11 @@ type Endpoint struct {
 	once sync.Once
 }
 
-var _ simnet.Transport = (*Endpoint)(nil)
+var _ transport.Transport = (*Endpoint)(nil)
 
 // Listen binds the principal's socket and starts delivering inbound
 // datagrams to h.
-func Listen(self message.NodeID, book *AddressBook, h simnet.Handler) (*Endpoint, error) {
+func Listen(self message.NodeID, book *AddressBook, h transport.Handler) (*Endpoint, error) {
 	addr, ok := book.Lookup(self)
 	if !ok {
 		return nil, fmt.Errorf("udpnet: no address for principal %d", self)
@@ -109,10 +109,10 @@ func Listen(self message.NodeID, book *AddressBook, h simnet.Handler) (*Endpoint
 	return ep, nil
 }
 
-// Self implements simnet.Transport.
+// Self implements transport.Transport.
 func (ep *Endpoint) Self() message.NodeID { return ep.self }
 
-// Send implements simnet.Transport.
+// Send implements transport.Transport.
 func (ep *Endpoint) Send(dst message.NodeID, payload []byte) {
 	if len(payload) > MaxDatagram {
 		return
@@ -122,7 +122,7 @@ func (ep *Endpoint) Send(dst message.NodeID, payload []byte) {
 	}
 }
 
-// Multicast implements simnet.Transport (iterated unicast; the thesis used
+// Multicast implements transport.Transport (iterated unicast; the thesis used
 // IP multicast where available with the same semantics).
 func (ep *Endpoint) Multicast(dsts []message.NodeID, payload []byte) {
 	for _, d := range dsts {
@@ -132,7 +132,7 @@ func (ep *Endpoint) Multicast(dsts []message.NodeID, payload []byte) {
 	}
 }
 
-// Close implements simnet.Transport.
+// Close implements transport.Transport.
 func (ep *Endpoint) Close() {
 	ep.once.Do(func() {
 		ep.conn.Close()

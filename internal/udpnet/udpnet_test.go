@@ -2,6 +2,7 @@ package udpnet
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,14 +29,19 @@ func TestLocalBookAndRoundTrip(t *testing.T) {
 	}
 	defer a.Close()
 
-	var b *Endpoint
-	b, err = Listen(1, book, func(p []byte) {
-		b.Send(0, append([]byte("echo:"), p...))
+	// The handler runs on the receive goroutine: publish the endpoint to it
+	// atomically (a plain captured variable would race the assignment).
+	var echo atomic.Pointer[Endpoint]
+	b, err := Listen(1, book, func(p []byte) {
+		if ep := echo.Load(); ep != nil {
+			ep.Send(0, append([]byte("echo:"), p...))
+		}
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
+	echo.Store(b)
 
 	a.Send(1, []byte("ping"))
 	select {
