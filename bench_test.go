@@ -170,8 +170,31 @@ func BenchmarkThroughput00PipelinedIngress(b *testing.B) {
 }
 
 func benchThroughputIngress(b *testing.B, pipeline bool) {
-	c, _ := benchClusterOpt(b, pbft.ModeMAC, 4,
-		func(cfg *pbft.Config) { cfg.Opt.Pipeline = pipeline })
+	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.Pipeline = pipeline })
+}
+
+// BenchmarkThroughput00SerialEgress / BenchmarkThroughput00PipelinedEgress
+// pin the egress mode the same way: serial seals every outbound message
+// (marshal + O(n) MACs) inline on the event loop, pipelined fans that work
+// across the egress pool. See also BenchmarkEgressPipeline in
+// internal/egress for the egress stage alone.
+func BenchmarkThroughput00SerialEgress(b *testing.B) {
+	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.EgressPipeline = false })
+}
+
+func BenchmarkThroughput00PipelinedEgress(b *testing.B) {
+	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.EgressPipeline = true })
+}
+
+func benchThroughputOpt(b *testing.B, mut func(*pbft.Config)) {
+	c, _ := benchClusterOpt(b, pbft.ModeMAC, 4, func(cfg *pbft.Config) {
+		// Pin both pipelines on before the variant's mutation (the defaults
+		// adapt to core count): each serial-vs-pipelined pair then differs
+		// by exactly one pipeline on any host.
+		cfg.Opt.Pipeline = true
+		cfg.Opt.EgressPipeline = true
+		mut(cfg)
+	})
 	b.ResetTimer()
 	var total float64
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,113 @@
+package egress
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/message"
+)
+
+// benchSealer is the vector-of-MACs group seal a replica performs per
+// multicast (internal/pbft's sealer without the mode/signature branches):
+// encode the body, MAC it once per replica, append the trailer.
+type benchSealer struct {
+	n  int
+	ks *crypto.KeyStore
+}
+
+func (s *benchSealer) Seal(buf []byte, _ Kind, _ message.NodeID,
+	m message.Message) ([]byte, uint64) {
+	gen := s.ks.Generation()
+	start := len(buf)
+	buf = message.AppendPayload(buf, m)
+	a := message.Auth{
+		Kind:   message.AuthVector,
+		Vector: s.ks.MakeAuthenticator(s.n, buf[start:]),
+	}
+	return message.AppendAuth(buf, &a), gen
+}
+
+func (s *benchSealer) Generation() uint64 { return s.ks.Generation() }
+
+// countTransport discards datagrams, counting them, and releases buffers
+// immediately like udpnet, so the pipeline's pooled-buffer path is what the
+// benchmark measures.
+type countTransport struct{ sent atomic.Uint64 }
+
+func (t *countTransport) Self() message.NodeID                       { return 0 }
+func (t *countTransport) Send(message.NodeID, []byte)                { t.sent.Add(1) }
+func (t *countTransport) Multicast([]message.NodeID, []byte)         { t.sent.Add(1) }
+func (t *countTransport) Close()                                     {}
+func (t *countTransport) SendOwned(_ message.NodeID, p []byte, release func([]byte)) {
+	t.sent.Add(1)
+	release(p)
+}
+func (t *countTransport) MulticastOwned(_ []message.NodeID, p []byte, release func([]byte)) {
+	t.sent.Add(1)
+	release(p)
+}
+
+// BenchmarkEgressPipeline compares the serial send path (marshal + group
+// authenticator inline, as Replica.multicastReplicas does with the pipeline
+// off) against the worker pool at 1/2/4/8 workers. The workload is the
+// replica hot path: one 1 KiB-op request multicast to a 4-replica group,
+// sealed with a 4-entry vector of MACs — the neighborhood of the paper's
+// 4/0 benchmark operation (§8.3.2). ns/op is per sealed multicast, so
+// multicasts/sec = 1e9 / (ns/op).
+func BenchmarkEgressPipeline(b *testing.B) {
+	const (
+		opSize   = 1024
+		groupN   = 4
+		queueCap = 16384
+	)
+	ks := crypto.NewKeyStore(1000)
+	for i := 0; i < groupN; i++ {
+		ks.InstallInitial(uint32(i))
+	}
+	req := &message.Request{
+		Client:    1000,
+		Timestamp: 1,
+		Replier:   message.NoNode,
+		Op:        make([]byte, opSize),
+	}
+	dsts := []message.NodeID{0, 1, 2, 3}
+	sealer := &benchSealer{n: groupN, ks: ks}
+
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// The serial path: Payload() allocation, vector of MACs,
+			// Marshal() allocation — what the event loop pays inline.
+			payload := req.Payload()
+			req.Auth = message.Auth{
+				Kind:   message.AuthVector,
+				Vector: ks.MakeAuthenticator(groupN, payload),
+			}
+			if w := req.Marshal(); len(w) == 0 {
+				b.Fatal("empty wire message")
+			}
+		}
+		req.Auth = message.Auth{}
+	})
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ct := &countTransport{}
+			p := New(workers, queueCap, sealer, ct)
+			defer p.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !p.Multicast(dsts, req, Vector) {
+					runtime.Gosched() // backpressure: wait for queue headroom
+				}
+			}
+			for ct.sent.Load() < uint64(b.N) {
+				runtime.Gosched()
+			}
+		})
+	}
+}

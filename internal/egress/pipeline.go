@@ -1,0 +1,306 @@
+// Package egress is the staged send path of the replication library: a
+// worker pool that marshals and authenticates outbound messages in parallel
+// and hands finished wire buffers to the transport in submission order. It
+// mirrors internal/ingress, which does the same for the receive path.
+//
+// The cost it moves off the event loop is the one Castro & Liskov's own
+// analysis (§8.3.1) puts at the center of BFT's performance: with vector-of-
+// MACs authenticators every multicast costs O(n) HMACs plus a serialization
+// pass, and a replica that seals serially caps its send rate at one core.
+// The pipeline splits the path into stages:
+//
+//	event loop -> Submit (send order) -> workers (marshal + authenticate)
+//	           -> collector (re-sequenced to send order) -> transport
+//
+// Protocol state stays single-threaded: workers only READ the message body
+// (immutable once submitted) and the copy-on-write key-store snapshots; the
+// computed trailer goes straight into the wire buffer, never back into the
+// message object, so no protocol structure is ever written outside the
+// event loop. Each sealed job is stamped with the key-store generation its
+// authenticator was computed under; the collector re-seals any job that
+// crossed a key rotation while queued (the egress twin of the §4.3.2
+// stale-key rule on ingress), so a refresh never ships MACs receivers will
+// reject as stale.
+//
+// Wire buffers come from a pool and are handed to the transport through
+// transport.Multicaster when the substrate implements it: the transport
+// coalesces the n datagrams of one multicast and releases the buffer for
+// reuse once the bytes are out. Substrates that retain payload references
+// (the simulator) simply never release, and the buffer falls to the GC.
+package egress
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/message"
+	"repro/internal/transport"
+)
+
+// Kind selects how a job is authenticated when it is sealed on a worker.
+type Kind uint8
+
+// Job kinds.
+const (
+	// Raw ships pre-marshaled bytes untouched (retransmissions of stored
+	// messages keep their original authenticators so relays work). No
+	// crypto runs on the worker and the job is never re-sealed.
+	Raw Kind = iota
+	// Vector seals with a group authenticator: the vector of per-replica
+	// MACs of §5.2 (or a signature in PK mode).
+	Vector
+	// Point seals with the single point-to-point MAC for the destination
+	// (or a signature in PK mode).
+	Point
+	// Sign always seals with a signature (new-key and recovery traffic,
+	// §4.3.1: these must be verifiable regardless of session-key state).
+	Sign
+)
+
+// NoGeneration marks a sealed job that can never go stale: signatures do
+// not depend on session keys, so key rotation does not invalidate them.
+const NoGeneration = ^uint64(0)
+
+// Sealer produces the authenticated wire encoding of one message.
+// Implementations must be safe for concurrent use: Seal runs on pool
+// workers against copy-on-write key-store snapshots. Seal appends the
+// complete wire message (body followed by trailer) to buf and returns the
+// extended buffer together with the key generation the authenticator was
+// computed under (NoGeneration when rotation cannot invalidate it). It must
+// not write into m.
+type Sealer interface {
+	Seal(buf []byte, kind Kind, dst message.NodeID, m message.Message) (wire []byte, gen uint64)
+	// Generation returns the current key generation, compared against a
+	// job's stamp by the collector to detect sends that crossed a rotation.
+	Generation() uint64
+}
+
+// job carries one outbound message through the pool. The worker signals
+// done (a reusable 1-buffered channel) once wire/gen are set; the collector
+// waits on jobs in submission order, then recycles the job via jobPool.
+type job struct {
+	kind Kind
+	m    message.Message
+	dst  message.NodeID
+	dsts []message.NodeID
+	wire []byte
+	gen  uint64
+	done chan struct{}
+}
+
+// jobPool recycles jobs and their done channels: egress is the per-message
+// hot path and allocations per send would show up at high rates.
+var jobPool = sync.Pool{
+	New: func() any { return &job{done: make(chan struct{}, 1)} },
+}
+
+// wirePool recycles wire buffers between the workers and the transport.
+// Buffers come back through the release callback of transport.Multicaster;
+// substrates that retain the bytes never release and the buffer is GC'd.
+var wirePool = sync.Pool{
+	New: func() any { return make([]byte, 0, 512) },
+}
+
+// Stats are the pipeline's counters (atomic; safe to read live).
+type Stats struct {
+	// Submitted counts jobs accepted into the pipeline.
+	Submitted uint64
+	// Rejected counts sends refused by a full or closed pipeline — outbox
+	// overflow, the send-side twin of receive-buffer loss. The datagram is
+	// simply never transmitted; retransmission recovers, exactly as for a
+	// datagram lost on the wire.
+	Rejected uint64
+	// Resealed counts jobs re-authenticated by the collector because a key
+	// rotation was published after the worker sealed them.
+	Resealed uint64
+}
+
+// Pipeline is a fixed-size worker pool with an order-preserving collector
+// that releases sealed wire buffers to the transport in submission order,
+// so the transport observes the exact send sequence the event loop issued.
+type Pipeline struct {
+	seal  Sealer
+	trans transport.Transport
+	mc    transport.Multicaster // trans, if it implements the extension
+
+	jobs  chan *job // work queue, consumed by any worker
+	order chan *job // same jobs in submission order, consumed by collector
+	quit  chan struct{}
+
+	submitMu sync.Mutex // serializes Submit so order == send order
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	resealed  atomic.Uint64
+}
+
+// New starts a pipeline with the given pool size (0 means GOMAXPROCS) and
+// queue capacity (0 means 8192, matching the replica inbox), sealing with s
+// and transmitting through t. Close releases the pool.
+func New(workers, queueCap int, s Sealer, t transport.Transport) *Pipeline {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueCap <= 0 {
+		queueCap = 8192
+	}
+	p := &Pipeline{
+		seal:  s,
+		trans: t,
+		jobs:  make(chan *job, queueCap),
+		order: make(chan *job, queueCap),
+		quit:  make(chan struct{}),
+	}
+	p.mc, _ = t.(transport.Multicaster)
+	p.wg.Add(workers + 1)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	go p.collect()
+	return p
+}
+
+// Multicast seals m per kind and transmits it to every id in dsts. It never
+// blocks: a saturated or closed pipeline drops the send and reports false
+// (outbox overflow). The caller must not mutate m's body after submission.
+func (p *Pipeline) Multicast(dsts []message.NodeID, m message.Message, kind Kind) bool {
+	return p.submit(kind, m, nil, message.NoNode, dsts)
+}
+
+// Send seals m per kind and transmits it to dst.
+func (p *Pipeline) Send(dst message.NodeID, m message.Message, kind Kind) bool {
+	return p.submit(kind, m, nil, dst, nil)
+}
+
+// SendRaw transmits already-encoded bytes to dst, ordered with the sealed
+// traffic (retransmissions that keep their original authenticators).
+func (p *Pipeline) SendRaw(dst message.NodeID, wire []byte) bool {
+	return p.submit(Raw, nil, wire, dst, nil)
+}
+
+// MulticastRaw transmits already-encoded bytes to every id in dsts.
+func (p *Pipeline) MulticastRaw(dsts []message.NodeID, wire []byte) bool {
+	return p.submit(Raw, nil, wire, message.NoNode, dsts)
+}
+
+func (p *Pipeline) submit(kind Kind, m message.Message, wire []byte,
+	dst message.NodeID, dsts []message.NodeID) bool {
+	if p.closed.Load() {
+		p.rejected.Add(1)
+		return false
+	}
+	j := jobPool.Get().(*job)
+	j.kind, j.m, j.wire, j.dst, j.dsts, j.gen = kind, m, wire, dst, dsts, NoGeneration
+	p.submitMu.Lock()
+	select {
+	case p.order <- j:
+	default:
+		p.submitMu.Unlock()
+		p.rejected.Add(1)
+		jobPool.Put(j)
+		return false
+	}
+	select {
+	case p.jobs <- j:
+	default:
+		// order accepted but the work queue is full (workers far behind):
+		// resolve the reserved slot as an empty drop so the collector never
+		// stalls on it.
+		j.m, j.wire = nil, nil
+		j.done <- struct{}{}
+		p.submitMu.Unlock()
+		p.rejected.Add(1)
+		return false
+	}
+	p.submitMu.Unlock()
+	p.submitted.Add(1)
+	return true
+}
+
+// Close stops accepting sends and releases the workers and collector.
+// In-flight sends may or may not reach the transport; after Close returns,
+// the transport is never invoked again, so it is safe to close afterwards.
+func (p *Pipeline) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.quit)
+		p.wg.Wait()
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Submitted: p.submitted.Load(),
+		Rejected:  p.rejected.Load(),
+		Resealed:  p.resealed.Load(),
+	}
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case j := <-p.jobs:
+			if j.kind != Raw {
+				buf := wirePool.Get().([]byte)
+				j.wire, j.gen = p.seal.Seal(buf[:0], j.kind, j.dst, j.m)
+			}
+			j.done <- struct{}{}
+		}
+	}
+}
+
+func (p *Pipeline) collect() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case j := <-p.order:
+			select {
+			case <-j.done:
+			case <-p.quit:
+				return
+			}
+			if j.wire != nil {
+				if j.gen != NoGeneration && j.gen != p.seal.Generation() {
+					// Keys rotated while the job was queued: the sealed MACs
+					// may already be stale at their receivers. Re-seal with
+					// the current snapshot; rotations are rare, so this
+					// almost never runs.
+					j.wire, j.gen = p.seal.Seal(j.wire[:0], j.kind, j.dst, j.m)
+					p.resealed.Add(1)
+				}
+				p.transmit(j)
+			}
+			j.m, j.wire, j.dsts = nil, nil, nil
+			jobPool.Put(j)
+		}
+	}
+}
+
+// transmit hands one sealed buffer to the transport, through the owned
+// (pooled-buffer, coalesced) surface when the substrate provides it.
+func (p *Pipeline) transmit(j *job) {
+	if p.mc != nil {
+		if j.dsts != nil {
+			p.mc.MulticastOwned(j.dsts, j.wire, releaseWire)
+		} else {
+			p.mc.SendOwned(j.dst, j.wire, releaseWire)
+		}
+		return
+	}
+	if j.dsts != nil {
+		p.trans.Multicast(j.dsts, j.wire)
+	} else {
+		p.trans.Send(j.dst, j.wire)
+	}
+}
+
+// releaseWire returns a transport-released buffer to the pool.
+func releaseWire(b []byte) { wirePool.Put(b[:0]) }

@@ -1,0 +1,257 @@
+package egress
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/transport"
+)
+
+// fakeTransport records every transmitted datagram in arrival order.
+type fakeTransport struct {
+	mu    sync.Mutex
+	wires [][]byte
+	dsts  []message.NodeID
+}
+
+func (t *fakeTransport) Self() message.NodeID { return 0 }
+func (t *fakeTransport) Send(dst message.NodeID, p []byte) {
+	t.mu.Lock()
+	t.wires = append(t.wires, append([]byte(nil), p...))
+	t.dsts = append(t.dsts, dst)
+	t.mu.Unlock()
+}
+func (t *fakeTransport) Multicast(dsts []message.NodeID, p []byte) {
+	t.mu.Lock()
+	t.wires = append(t.wires, append([]byte(nil), p...))
+	t.dsts = append(t.dsts, message.NoNode)
+	t.mu.Unlock()
+}
+func (t *fakeTransport) Close() {}
+
+func (t *fakeTransport) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.wires)
+}
+
+// ownedTransport additionally implements transport.Multicaster, releasing
+// every buffer immediately (udpnet's behavior).
+type ownedTransport struct {
+	fakeTransport
+	released atomic.Uint64
+}
+
+func (t *ownedTransport) MulticastOwned(dsts []message.NodeID, p []byte, release func([]byte)) {
+	t.Multicast(dsts, p)
+	if release != nil {
+		release(p)
+		t.released.Add(1)
+	}
+}
+
+func (t *ownedTransport) SendOwned(dst message.NodeID, p []byte, release func([]byte)) {
+	t.Send(dst, p)
+	if release != nil {
+		release(p)
+		t.released.Add(1)
+	}
+}
+
+// fakeSealer encodes a Commit's sequence number as the wire bytes and
+// reports a controllable generation. sealGen is the generation stamped on
+// sealed jobs; curGen is what Generation() reports.
+type fakeSealer struct {
+	sealGen atomic.Uint64
+	curGen  atomic.Uint64
+	seals   atomic.Uint64
+	gate    chan struct{} // when non-nil, Seal blocks until the gate closes
+}
+
+func (s *fakeSealer) Seal(buf []byte, kind Kind, dst message.NodeID,
+	m message.Message) ([]byte, uint64) {
+	if s.gate != nil {
+		<-s.gate
+	}
+	s.seals.Add(1)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.(*message.Commit).Seq))
+	return buf, s.sealGen.Load()
+}
+
+func (s *fakeSealer) Generation() uint64 { return s.curGen.Load() }
+
+func commitMsg(seq uint64) *message.Commit { return &message.Commit{Seq: message.Seq(seq)} }
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestEgressOrderPreserved(t *testing.T) {
+	// Workers seal out of order; the collector must hand buffers to the
+	// transport in exact submission order.
+	const n = 500
+	ft := &fakeTransport{}
+	s := &fakeSealer{}
+	p := New(4, 0, s, ft)
+	defer p.Close()
+	for i := 0; i < n; i++ {
+		if !p.Send(1, commitMsg(uint64(i)), Vector) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	waitFor(t, "all sends", func() bool { return ft.count() == n })
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for i, w := range ft.wires {
+		if got := binary.LittleEndian.Uint64(w); got != uint64(i) {
+			t.Fatalf("send %d carried seq %d: order not preserved", i, got)
+		}
+	}
+	if st := p.Stats(); st.Submitted != n || st.Rejected != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEgressResealOnRotation(t *testing.T) {
+	// Jobs whose stamped generation no longer matches the sealer's current
+	// generation must be re-sealed by the collector before transmission.
+	ft := &fakeTransport{}
+	s := &fakeSealer{}
+	s.sealGen.Store(6)
+	s.curGen.Store(7) // every job looks like it crossed a rotation
+	p := New(2, 0, s, ft)
+	defer p.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		p.Send(1, commitMsg(uint64(i)), Vector)
+	}
+	waitFor(t, "all sends", func() bool { return ft.count() == n })
+	if st := p.Stats(); st.Resealed != n {
+		t.Fatalf("Resealed = %d, want %d", st.Resealed, n)
+	}
+	if got := s.seals.Load(); got != 2*n {
+		t.Fatalf("sealer invoked %d times, want %d (seal + re-seal)", got, 2*n)
+	}
+	// Order must survive re-sealing.
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for i, w := range ft.wires {
+		if got := binary.LittleEndian.Uint64(w); got != uint64(i) {
+			t.Fatalf("send %d carried seq %d after reseal", i, got)
+		}
+	}
+}
+
+func TestEgressSignaturesNeverResealed(t *testing.T) {
+	// NoGeneration-stamped jobs (signatures) must not re-seal however the
+	// generation moves.
+	ft := &fakeTransport{}
+	s := &fakeSealer{}
+	s.sealGen.Store(NoGeneration)
+	s.curGen.Store(3)
+	p := New(1, 0, s, ft)
+	defer p.Close()
+	p.Send(1, commitMsg(0), Sign)
+	waitFor(t, "send", func() bool { return ft.count() == 1 })
+	if st := p.Stats(); st.Resealed != 0 {
+		t.Fatalf("signature job re-sealed %d times", st.Resealed)
+	}
+}
+
+func TestEgressOutboxOverflowCounted(t *testing.T) {
+	// With the workers gated shut and a tiny queue, surplus submissions
+	// must be dropped and counted, never block, and never wedge the
+	// collector.
+	ft := &fakeTransport{}
+	gate := make(chan struct{})
+	s := &fakeSealer{gate: gate}
+	p := New(1, 4, s, ft)
+	defer p.Close()
+	accepted, rejected := 0, 0
+	for i := 0; i < 64; i++ {
+		if p.Send(1, commitMsg(uint64(i)), Vector) {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no submissions rejected with a gated 4-slot pipeline")
+	}
+	st := p.Stats()
+	if st.Rejected != uint64(rejected) || st.Submitted != uint64(accepted) {
+		t.Fatalf("stats %+v, want rejected=%d submitted=%d", st, rejected, accepted)
+	}
+	close(gate) // release the workers; accepted jobs must all drain
+	waitFor(t, "accepted sends to drain", func() bool { return ft.count() == accepted })
+}
+
+func TestEgressRawBypassesSealer(t *testing.T) {
+	// Raw jobs carry pre-encoded bytes: the sealer must never run and the
+	// bytes arrive untouched, ordered with sealed traffic.
+	ft := &fakeTransport{}
+	s := &fakeSealer{}
+	p := New(2, 0, s, ft)
+	defer p.Close()
+	raw := []byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0}
+	p.Send(1, commitMsg(7), Vector)
+	p.SendRaw(2, raw)
+	p.MulticastRaw([]message.NodeID{1, 2, 3}, raw)
+	waitFor(t, "three sends", func() bool { return ft.count() == 3 })
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if binary.LittleEndian.Uint64(ft.wires[0]) != 7 {
+		t.Fatalf("sealed job out of order: % x", ft.wires[0])
+	}
+	for i := 1; i < 3; i++ {
+		if string(ft.wires[i]) != string(raw) {
+			t.Fatalf("raw bytes modified in flight: % x", ft.wires[i])
+		}
+	}
+	if s.seals.Load() != 1 {
+		t.Fatalf("sealer ran %d times, want 1", s.seals.Load())
+	}
+}
+
+func TestEgressUsesOwnedSurface(t *testing.T) {
+	// A transport implementing Multicaster receives buffers through the
+	// owned surface and its releases recycle them.
+	ot := &ownedTransport{}
+	s := &fakeSealer{}
+	p := New(1, 0, s, ot)
+	defer p.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		p.Multicast([]message.NodeID{1, 2, 3}, commitMsg(uint64(i)), Vector)
+	}
+	waitFor(t, "owned sends", func() bool { return ot.count() == n })
+	if got := ot.released.Load(); got != n {
+		t.Fatalf("released %d buffers, want %d", got, n)
+	}
+}
+
+func TestEgressCloseStopsTransmission(t *testing.T) {
+	ft := &fakeTransport{}
+	s := &fakeSealer{}
+	p := New(2, 0, s, ft)
+	p.Send(1, commitMsg(1), Vector)
+	p.Close()
+	if p.Send(1, commitMsg(2), Vector) {
+		t.Fatal("Send accepted after Close")
+	}
+	if st := p.Stats(); st.Rejected == 0 {
+		t.Fatal("post-Close send not counted as rejected")
+	}
+	var _ transport.Transport = ft // the fake really is a Transport
+}

@@ -184,6 +184,7 @@ func E3Ablation(scale int) []*Table {
 		{"no separate req", func(c *pbft.Config) { c.Opt.SeparateRequests = false }},
 		{"no read-only opt", func(c *pbft.Config) { c.Opt.ReadOnly = false }},
 		{"serial ingress", func(c *pbft.Config) { c.Opt.Pipeline = false }},
+		{"serial egress", func(c *pbft.Config) { c.Opt.EgressPipeline = false }},
 		{"signatures (BFT-PK)", func(c *pbft.Config) { c.Mode = pbft.ModePK }},
 	}
 	lat := &Table{
@@ -198,11 +199,12 @@ func E3Ablation(scale int) []*Table {
 	}
 	for _, v := range variants {
 		cfg := benchConfig(pbft.ModeMAC)
-		// Pin the pipeline on before each mutation (the default adapts to
+		// Pin both pipelines on before each mutation (the defaults adapt to
 		// core count): every row then differs from "full BFT" by exactly
-		// the named optimization, and "serial ingress" is a real ablation
-		// on any host.
+		// the named optimization, and the "serial ingress"/"serial egress"
+		// rows are real ablations on any host.
 		cfg.Opt.Pipeline = true
+		cfg.Opt.EgressPipeline = true
 		v.mut(&cfg)
 		c := newKVCluster(4, cfg)
 		cl := c.NewClient()

@@ -51,6 +51,26 @@ func (w *writer) bytes(p []byte) {
 	w.b = append(w.b, p...)
 }
 
+// AppendPayload appends m's body — the exact bytes MACs and signatures
+// cover, identical to Payload() — to dst and returns the extended slice.
+// It exists for the egress pipeline, whose workers encode into pooled wire
+// buffers instead of allocating per message.
+func AppendPayload(dst []byte, m Message) []byte {
+	w := &writer{b: dst}
+	m.(bodyCodec).marshalBody(w)
+	return w.b
+}
+
+// AppendAuth appends an authentication trailer to dst and returns the
+// extended slice. AppendPayload followed by AppendAuth produces the same
+// bytes as Marshal, but with a caller-chosen trailer: egress workers seal
+// messages without writing into the (event-loop-owned) message object.
+func AppendAuth(dst []byte, a *Auth) []byte {
+	w := &writer{b: dst}
+	a.marshal(w)
+	return w.b
+}
+
 // reader is a sticky-error decoder.
 type reader struct {
 	b   []byte

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/crypto"
+	"repro/internal/egress"
 	"repro/internal/ingress"
 	"repro/internal/message"
 	"repro/internal/transport"
@@ -28,6 +29,10 @@ type Client struct {
 
 	trans transport.Transport
 	pipe  *ingress.Pipeline
+	// out, when non-nil (opt.EgressPipeline), seals and transmits requests
+	// off the invoking goroutine: the O(n) request authenticator (§5.2)
+	// moves to the pool, like the replicas' egress path.
+	out *egress.Pipeline
 
 	// RetryTimeout is the base retransmission timeout; it backs off
 	// exponentially like the adaptive scheme of §5.2.
@@ -46,8 +51,8 @@ type Client struct {
 	pending   *pendingInvoke
 	closed    bool
 
-	rngMu sync.Mutex
-	seed  uint64
+	replierMu   sync.Mutex
+	nextReplier uint64
 }
 
 type replyVote struct {
@@ -77,7 +82,7 @@ func NewClient(id message.NodeID, dir *Directory, net Network, mode Mode, opt Op
 		RetryTimeout:       150 * time.Millisecond,
 		MaxRetries:         10,
 		MulticastThreshold: 255,
-		seed:               uint64(id),
+		nextReplier:        uint64(id), // stagger start across clients
 	}
 	dir.Register(id, c.kp.Public)
 	for i := 0; i < dir.N(); i++ {
@@ -108,6 +113,18 @@ func NewClient(id message.NodeID, dir *Directory, net Network, mode Mode, opt Op
 	} else {
 		c.trans = net.Attach(id, c.onRaw)
 	}
+	if opt.EgressPipeline {
+		// Staged egress, sized like the client's ingress: one request at a
+		// time needs no wide pool, so a single worker seals (vector of n
+		// MACs + marshal) off the invoking goroutine and a shallow queue
+		// bounds the footprint across many-client harnesses.
+		workers := opt.EgressWorkers
+		if workers <= 0 {
+			workers = 1
+		}
+		c.out = egress.New(workers, 256,
+			&sealer{mode: mode, n: dir.N(), ks: c.ks, kp: c.kp}, c.trans)
+	}
 	return c
 }
 
@@ -119,6 +136,9 @@ func (c *Client) Close() {
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+	if c.out != nil {
+		c.out.Close() // before the transport: the collector transmits through it
+	}
 	c.trans.Close()
 	if c.pipe != nil {
 		c.pipe.Close()
@@ -169,15 +189,14 @@ func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
 	if !c.opt.DigestReplies {
 		req.Replier = message.NoNode
 	}
-	c.authRequest(req)
 
 	// First transmission: read-only requests and large requests (separate
 	// request transmission, §5.1.5) go to everyone; small read-write
 	// requests go to the believed primary (§2.3.2).
 	if useRO || (c.opt.SeparateRequests && len(op) > c.MulticastThreshold) {
-		c.trans.Multicast(c.dir.ReplicaIDs(), req.Marshal())
+		c.sendRequest(req, message.NoNode)
 	} else {
-		c.trans.Send(c.dir.Primary(view), req.Marshal())
+		c.sendRequest(req, c.dir.Primary(view))
 	}
 
 	timeout := c.RetryTimeout
@@ -207,8 +226,7 @@ func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
 			// Keep results: digests can still match.
 		}
 		c.mu.Unlock()
-		c.authRequest(retry)
-		c.trans.Multicast(c.dir.ReplicaIDs(), retry.Marshal())
+		c.sendRequest(retry, message.NoNode)
 		timeout *= 2 // randomized exponential backoff, deterministic here
 		if timeout > maxBackoff {
 			timeout = maxBackoff
@@ -221,12 +239,38 @@ func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
 }
 
 // pickReplier chooses the designated replier round-robin (load balancing,
-// §5.1.1).
+// §5.1.1): a per-client counter walks the replicas in strict rotation, so
+// over any window of n requests every replica returns exactly one full
+// result. (An earlier LCG here skewed replier load through modulo bias.)
 func (c *Client) pickReplier() message.NodeID {
-	c.rngMu.Lock()
-	defer c.rngMu.Unlock()
-	c.seed = c.seed*6364136223846793005 + 1442695040888963407
-	return message.NodeID(c.seed % uint64(c.dir.N()))
+	c.replierMu.Lock()
+	defer c.replierMu.Unlock()
+	id := message.NodeID(c.nextReplier % uint64(c.dir.N()))
+	c.nextReplier++
+	return id
+}
+
+// sendRequest authenticates and transmits one request: multicast to every
+// replica when dst is NoNode, point-send otherwise. With the egress
+// pipeline on, sealing happens on the pool; requests always carry the full
+// vector authenticator (§5.2) — every replica must be able to check its MAC
+// when the primary inlines the request in a pre-prepare — so even the
+// point-send to the primary seals as a Vector job.
+func (c *Client) sendRequest(req *message.Request, dst message.NodeID) {
+	if c.out != nil {
+		if dst == message.NoNode {
+			c.out.Multicast(c.dir.ReplicaIDs(), req, egress.Vector)
+		} else {
+			c.out.Send(dst, req, egress.Vector)
+		}
+		return
+	}
+	c.authRequest(req)
+	if dst == message.NoNode {
+		c.trans.Multicast(c.dir.ReplicaIDs(), req.Marshal())
+	} else {
+		c.trans.Send(dst, req.Marshal())
+	}
 }
 
 func (c *Client) authRequest(req *message.Request) {

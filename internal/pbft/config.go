@@ -75,13 +75,24 @@ type Options struct {
 	Pipeline bool
 	// PipelineWorkers sets the ingress pool size; 0 means GOMAXPROCS.
 	PipelineWorkers int
+	// EgressPipeline is the send-side twin of Pipeline: marshal and
+	// authenticator generation (O(n) MACs per multicast, §5.2) move off
+	// the event loop onto a parallel worker pool (internal/egress) that
+	// hands pooled wire buffers to the transport in send order. Protocol
+	// state stays single-threaded; sends that cross a key rotation are
+	// re-sealed before transmission.
+	EgressPipeline bool
+	// EgressWorkers sets the egress pool size; 0 means GOMAXPROCS.
+	EgressWorkers int
 }
 
 // DefaultOptions enables everything, like the thesis's BFT configuration.
-// The ingress pipeline is enabled when more than one core is available;
-// on a single core the worker pool only adds scheduling overhead, so the
-// serial path is kept (set Pipeline explicitly to force either).
+// The ingress and egress pipelines are enabled when more than one core is
+// available; on a single core the worker pools only add scheduling
+// overhead, so the serial paths are kept (set Pipeline/EgressPipeline
+// explicitly to force either).
 func DefaultOptions() Options {
+	multicore := runtime.GOMAXPROCS(0) > 1
 	return Options{
 		DigestReplies:    true,
 		TentativeExec:    true,
@@ -91,7 +102,8 @@ func DefaultOptions() Options {
 		Window:           8,
 		SeparateRequests: true,
 		InlineThreshold:  255,
-		Pipeline:         runtime.GOMAXPROCS(0) > 1,
+		Pipeline:         multicore,
+		EgressPipeline:   multicore,
 	}
 }
 

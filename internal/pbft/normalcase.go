@@ -36,12 +36,15 @@ func (r *Replica) onRequest(req *message.Request) {
 	}
 
 	// Read-only optimization (§5.1.3): execute immediately once the state
-	// reflects only committed requests.
-	if req.ReadOnly() && r.cfg.Opt.ReadOnly && !req.Recovery() {
-		if r.service.IsReadOnly(req.Op) {
-			r.roQueue = append(r.roQueue, req)
-			r.drainReadOnly()
-		}
+	// reflects only committed requests. A request FLAGGED read-only whose
+	// operation actually mutates state is demoted to the read-write path
+	// right here: §5.1.3 has the replica treat it like any other request,
+	// so the client gets its reply in one round trip instead of burning a
+	// full retry timeout before its retransmission demotes it.
+	if req.ReadOnly() && r.cfg.Opt.ReadOnly && !req.Recovery() &&
+		r.service.IsReadOnly(req.Op) {
+		r.roQueue = append(r.roQueue, queuedRO{req: req, mark: r.lastExec})
+		r.drainReadOnly()
 		return
 	}
 
@@ -232,6 +235,9 @@ func (r *Replica) buildPrePrepare(v message.View, seq message.Seq, batch []*mess
 // receive a pre-prepare for the real batch, the other half one with a
 // different non-deterministic value (hence a different digest) for the same
 // sequence number. Safety demands that at most one of them ever commits.
+// It seals inline on the event loop even when the egress pipeline is on —
+// equivocation is adversarial traffic, and the honest pipeline's ordering
+// guarantees need not extend to it.
 func (r *Replica) issueConflicting(pp *message.PrePrepare, batch []*message.Request) {
 	alt := r.buildPrePrepare(pp.View, pp.Seq, batch)
 	alt.NonDet = append([]byte("evil-"), alt.NonDet...)
@@ -664,14 +670,27 @@ func (r *Replica) replyTo(req *message.Request, result []byte, tentative bool) {
 }
 
 // drainReadOnly answers queued read-only requests once the state reflects
-// only committed execution (§5.1.3).
+// only committed execution (§5.1.3). Two conditions gate each reply: the
+// state must hold no tentative (revocable) writes NOW, and everything that
+// was (tentatively) executed when the request ARRIVED must have committed —
+// a view change may roll a tentative write back and recommit it later, and
+// a read the client issued after that write's reply certificate must not
+// answer from the rolled-back state in between.
 func (r *Replica) drainReadOnly() {
 	if len(r.roQueue) == 0 || r.lastExec != r.lastCommitted {
 		return
 	}
 	q := r.roQueue
 	r.roQueue = nil
-	for _, req := range q {
+	for _, e := range q {
+		if e.mark > r.lastCommitted {
+			// The tentative prefix observed at arrival has not recommitted
+			// yet; keep waiting (the client's retry demotes to read-write if
+			// this drags on, §5.1.3).
+			r.roQueue = append(r.roQueue, e)
+			continue
+		}
+		req := e.req
 		result := r.service.Execute(req.Client, req.Op, nil)
 		rep := &message.Reply{
 			View:         r.view,

@@ -13,12 +13,14 @@ import (
 )
 
 // testConfig returns a small, fast configuration for integration tests.
-// The ingress pipeline is forced on (DefaultOptions adapts it to the core
-// count) so the whole protocol suite exercises the pipelined receive path
-// on any machine; ingress_test.go covers the serial path explicitly.
+// The ingress and egress pipelines are forced on (DefaultOptions adapts
+// them to the core count) so the whole protocol suite exercises both staged
+// paths on any machine; ingress_test.go and egress_test.go cover the serial
+// paths explicitly.
 func testConfig() Config {
 	opt := DefaultOptions()
 	opt.Pipeline = true
+	opt.EgressPipeline = true
 	return Config{
 		Mode:               ModeMAC,
 		Opt:                opt,

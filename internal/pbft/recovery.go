@@ -91,8 +91,7 @@ func (r *Replica) refreshKeys() {
 		nk.Peers = append(nk.Peers, peer)
 		nk.Keys = append(nk.Keys, key)
 	}
-	r.authSigned(nk) // signed by the co-processor
-	r.trans.Multicast(r.replicaIDs(), nk.Marshal())
+	r.multicastSigned(nk) // signed by the co-processor
 }
 
 // onNewKey installs the fresh key a peer chose for our traffic to it.
@@ -256,7 +255,7 @@ func (r *Replica) finishEstimation(sM message.Seq) {
 	r.rec.reqRaw = req.Marshal()
 	r.rec.reqSentAt = time.Now()
 	r.rec.replies = make(map[message.NodeID]uint64)
-	r.trans.Multicast(r.replicaIDs(), r.rec.reqRaw)
+	r.multicastRawBytes(r.rec.reqRaw)
 	// Process our own copy so we queue it like everyone else.
 	r.onRequest(req)
 }
@@ -411,7 +410,7 @@ func (r *Replica) recoveryTick(now time.Time) {
 		// The recovery request can be lost across view changes; retransmit
 		// it (same co-processor timestamp, so execution stays idempotent).
 		r.rec.reqSentAt = now
-		r.trans.Multicast(r.replicaIDs(), r.rec.reqRaw)
+		r.multicastRawBytes(r.rec.reqRaw)
 	}
 
 	if len(r.rec.recovering) == 0 {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/crypto"
+	"repro/internal/egress"
 	"repro/internal/ingress"
 	"repro/internal/message"
 	"repro/internal/statemachine"
@@ -35,6 +36,11 @@ type Metrics struct {
 	// attach handler's non-blocking enqueue, or ingress pipeline
 	// saturation). It is maintained atomically outside the event loop.
 	InboxDrops uint64
+	// OutboxDrops counts sends lost to egress-pipeline saturation — the
+	// send-side twin of InboxDrops. A dropped send is simply never
+	// transmitted; retransmission recovers, like any datagram lost on the
+	// wire. Zero when the egress pipeline is off (serial sends never drop).
+	OutboxDrops uint64
 }
 
 type cachedReply struct {
@@ -48,6 +54,18 @@ type cachedReply struct {
 type execRecord struct {
 	digest    crypto.Digest
 	tentative bool
+}
+
+// queuedRO pairs a queued read-only request with the execution frontier at
+// its arrival: §5.1.3 delays the reply until every request whose effects
+// the client could already have observed has COMMITTED, so the answer can
+// never run behind a tentative write that was rolled back by a view change
+// and recommitted later.
+type queuedRO struct {
+	req *message.Request
+	// mark is lastExec at arrival; the reply may go out only once
+	// lastCommitted has caught up to it (possibly in a later view).
+	mark message.Seq
 }
 
 // Replica is one member of the replica group. All fields are owned by the
@@ -72,9 +90,12 @@ type Replica struct {
 	inboxV     chan inbound
 	pipe       *ingress.Pipeline
 	inboxDrops atomic.Uint64
-	ctrl       chan func()
-	stopC      chan struct{}
-	wg         sync.WaitGroup
+	// out, when non-nil (cfg.Opt.EgressPipeline), seals and transmits
+	// outbound messages off the event loop in send order.
+	out   *egress.Pipeline
+	ctrl  chan func()
+	stopC chan struct{}
+	wg    sync.WaitGroup
 
 	// Protocol state.
 	view   message.View
@@ -99,7 +120,7 @@ type Replica struct {
 	// Request queue (FIFO, one entry per client — §5.5 fairness).
 	queue       []crypto.Digest
 	queuedByCli map[message.NodeID]crypto.Digest
-	roQueue     []*message.Request // read-only requests awaiting quiescence
+	roQueue     []queuedRO // read-only requests awaiting quiescence
 
 	// Pre-prepares waiting for separately-transmitted request bodies.
 	waitingPP map[message.Seq]*message.PrePrepare
@@ -203,16 +224,24 @@ func NewReplica(cfg Config, dir *Directory, net Network,
 				r.inboxDrops.Add(1)
 			}
 		})
-		return r
+	} else {
+		r.inbox = make(chan []byte, cfg.InboxCap)
+		r.trans = net.Attach(r.id, func(p []byte) {
+			select {
+			case r.inbox <- p:
+			default: // inbox overflow models receive-buffer loss
+				r.inboxDrops.Add(1)
+			}
+		})
 	}
-	r.inbox = make(chan []byte, cfg.InboxCap)
-	r.trans = net.Attach(r.id, func(p []byte) {
-		select {
-		case r.inbox <- p:
-		default: // inbox overflow models receive-buffer loss
-			r.inboxDrops.Add(1)
-		}
-	})
+	if cfg.Opt.EgressPipeline {
+		// Staged egress: the event loop submits (recipients, message) jobs;
+		// workers marshal and authenticate against the same copy-on-write
+		// key-store snapshots the ingress workers read, and the collector
+		// hands wire buffers to the transport in send order.
+		r.out = egress.New(cfg.Opt.EgressWorkers, cfg.InboxCap,
+			&sealer{mode: cfg.Mode, n: cfg.N, ks: r.ks, kp: r.kp}, r.trans)
+	}
 	return r
 }
 
@@ -241,6 +270,9 @@ func (r *Replica) Stop() {
 	}
 	close(r.stopC)
 	r.wg.Wait()
+	if r.out != nil {
+		r.out.Close() // before the transport: the collector transmits through it
+	}
 	r.trans.Close()
 	if r.pipe != nil {
 		r.pipe.Close()
@@ -269,6 +301,9 @@ func (r *Replica) Metrics() Metrics {
 	var m Metrics
 	r.do(func() { m = r.metrics })
 	m.InboxDrops = r.inboxDrops.Load()
+	if r.out != nil {
+		m.OutboxDrops = r.out.Stats().Rejected
+	}
 	return m
 }
 
@@ -504,9 +539,19 @@ func (r *Replica) verify(m message.Message) bool { return r.auth.Verify(m) }
 // Sending
 // ---------------------------------------------------------------------------
 
-// multicastReplicas authenticates and multicasts m to the whole group.
+// multicastReplicas authenticates and multicasts m to the whole group. On
+// the pipelined path the message body must not be mutated after this call
+// (egress workers read it concurrently); every caller builds or re-seals a
+// body that is immutable from here on.
 func (r *Replica) multicastReplicas(m message.Message) {
 	r.behaviorMangle(m)
+	if r.out != nil {
+		// An outbox-overflow drop here loses the multicast like a dropped
+		// datagram; status retransmission recovers (§5.2) and the pipeline
+		// counts it in Metrics.OutboxDrops.
+		r.out.Multicast(r.replicaIDs(), m, egress.Vector)
+		return
+	}
 	r.authMulticast(m)
 	r.trans.Multicast(r.replicaIDs(), m.Marshal())
 }
@@ -514,14 +559,63 @@ func (r *Replica) multicastReplicas(m message.Message) {
 // sendTo authenticates point-to-point and sends m to dst.
 func (r *Replica) sendTo(dst message.NodeID, m message.Message) {
 	r.behaviorMangle(m)
+	if r.out != nil {
+		r.out.Send(dst, m, egress.Point)
+		return
+	}
 	r.authPoint(m, dst)
 	r.trans.Send(dst, m.Marshal())
 }
 
 // sendRaw sends an already-authenticated message (retransmissions of stored
-// messages keep their original authenticators so relays work).
+// messages keep their original authenticators so relays work). The bytes
+// are captured on the event loop — the stored trailer is event-loop-owned —
+// and ride the egress pipeline as-is so send order is preserved.
 func (r *Replica) sendRaw(dst message.NodeID, m message.Message) {
+	if r.out != nil {
+		r.out.SendRaw(dst, m.Marshal())
+		return
+	}
 	r.trans.Send(dst, m.Marshal())
+}
+
+// resendOwn retransmits a message this replica authored, re-sealed with a
+// fresh group authenticator under the CURRENT keys, to a single peer (§5.2:
+// stored authenticators go stale across key refreshes, so each replica only
+// retransmits messages it originally sent, freshly authenticated). On the
+// pipelined path the trailer of a stored message object is never populated
+// — sealing happens in the wire buffer — so retransmission must always
+// re-seal rather than replay the object's trailer.
+func (r *Replica) resendOwn(dst message.NodeID, m message.Message) {
+	r.behaviorMangle(m)
+	if r.out != nil {
+		r.out.Send(dst, m, egress.Vector)
+		return
+	}
+	r.authMulticast(m)
+	r.trans.Send(dst, m.Marshal())
+}
+
+// multicastSigned signs m (via the simulated secure co-processor) and
+// multicasts it to the whole group — new-key announcements (§4.3.1).
+func (r *Replica) multicastSigned(m message.Message) {
+	if r.out != nil {
+		r.out.Multicast(r.replicaIDs(), m, egress.Sign)
+		return
+	}
+	r.authSigned(m)
+	r.trans.Multicast(r.replicaIDs(), m.Marshal())
+}
+
+// multicastRawBytes ships pre-encoded bytes to the whole group, ordered
+// with the sealed traffic (recovery-request retransmission keeps the exact
+// signed encoding, §4.3.2).
+func (r *Replica) multicastRawBytes(raw []byte) {
+	if r.out != nil {
+		r.out.MulticastRaw(r.replicaIDs(), raw)
+		return
+	}
+	r.trans.Multicast(r.replicaIDs(), raw)
 }
 
 // behaviorMangle applies fault-injection personalities to outgoing traffic.
@@ -537,6 +631,10 @@ func (r *Replica) behaviorMangle(m message.Message) {
 	case WrongResult:
 		if rep, ok := m.(*message.Reply); ok {
 			if len(rep.Result) > 0 {
+				// Flip a copy: Result aliases the reply cache's backing
+				// array, which the event loop reuses for retransmissions
+				// while an egress worker may still be encoding this reply.
+				rep.Result = append([]byte(nil), rep.Result...)
 				rep.Result[0] ^= 0xFF
 			}
 			rep.ResultDigest[0] ^= 0xFF

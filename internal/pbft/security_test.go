@@ -129,7 +129,10 @@ func TestReplayedRequestExecutesOnce(t *testing.T) {
 
 func TestFaultyClientCannotMarkWriteReadOnly(t *testing.T) {
 	// §5.1.3: a faulty client marking a write as read-only must not corrupt
-	// state — the service-specific IsReadOnly upcall rejects it.
+	// state through the read-only fast path. The service-specific IsReadOnly
+	// upcall demotes the request to the ordered read-write path, so it
+	// executes exactly once, through consensus — never unordered, and never
+	// more than once however often it is replayed.
 	cfg := testConfig()
 	c := NewLocalCluster(4, cfg, kvservice.Factory, nil)
 	c.Start()
@@ -149,15 +152,35 @@ func TestFaultyClientCannotMarkWriteReadOnly(t *testing.T) {
 	}
 	evil.Auth = message.Auth{Kind: message.AuthVector, Vector: ks.MakeAuthenticator(4, evil.Payload())}
 	sender := newRawSender(c.Net, message.ClientIDBase+5)
-	for i := 0; i < 4; i++ {
-		sender.trans.Send(message.NodeID(i), evil.Marshal())
+	send := func() {
+		for i := 0; i < 4; i++ {
+			sender.trans.Send(message.NodeID(i), evil.Marshal())
+		}
 	}
-	time.Sleep(150 * time.Millisecond)
+	send()
 
+	// The demoted write lands exactly once via the ordered path.
 	cl := c.NewClient()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res := mustInvoke(t, cl, kvservice.Get(), true)
+		if kvservice.DecodeU64(res) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("demoted write never executed: counter=%d, want 1",
+				kvservice.DecodeU64(res))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Replays of the same timestamp must not execute again (§2.3.3).
+	send()
+	send()
+	time.Sleep(150 * time.Millisecond)
 	res := mustInvoke(t, cl, kvservice.Get(), true)
-	if got := kvservice.DecodeU64(res); got != 0 {
-		t.Fatalf("read-only-flagged write executed on state: counter=%d", got)
+	if got := kvservice.DecodeU64(res); got != 1 {
+		t.Fatalf("replayed demoted write executed again: counter=%d, want 1", got)
 	}
 }
 

@@ -420,9 +420,7 @@ func (r *Replica) onStatusActive(st *message.StatusActive) {
 	if st.LastStable < r.log.Low() {
 		if snap, ok := r.ckpt.Snapshot(r.log.Low()); ok {
 			cp := &message.Checkpoint{Seq: snap.Seq, Digest: ckptDigest(snap.Root, snap.Extra), Replica: r.id}
-			r.behaviorMangle(cp)
-			r.authMulticast(cp)
-			r.sendRaw(st.Replica, cp)
+			r.resendOwn(st.Replica, cp)
 		}
 	}
 	// Retransmit protocol messages for sequence numbers the peer lacks.
@@ -438,8 +436,7 @@ func (r *Replica) onStatusActive(st *message.StatusActive) {
 		}
 		if !getBit(st.Prepared, i) {
 			if s.PrePrepare != nil && s.PrePrepare.Replica == r.id && r.haveSeparateBodies(s.PrePrepare) {
-				r.authMulticast(s.PrePrepare) // fresh authenticator
-				r.sendRaw(st.Replica, s.PrePrepare)
+				r.resendOwn(st.Replica, s.PrePrepare) // fresh authenticator
 				// Ship separately-transmitted request bodies too (client
 				// authenticators are epoch-stable).
 				for _, d := range s.PrePrepare.Digests {
@@ -450,16 +447,12 @@ func (r *Replica) onStatusActive(st *message.StatusActive) {
 			}
 			if s.SentPrepare {
 				p := &message.Prepare{View: s.View, Seq: seq, Digest: s.Digest, Replica: r.id}
-				r.behaviorMangle(p)
-				r.authMulticast(p)
-				r.sendRaw(st.Replica, p)
+				r.resendOwn(st.Replica, p)
 			}
 		}
 		if getBit(st.Prepared, i) && !getBit(st.Committed, i) && s.SentCommit {
 			c := &message.Commit{View: s.View, Seq: seq, Digest: s.Digest, Replica: r.id}
-			r.behaviorMangle(c)
-			r.authMulticast(c)
-			r.sendRaw(st.Replica, c)
+			r.resendOwn(st.Replica, c)
 		}
 	}
 }
@@ -485,9 +478,10 @@ func (r *Replica) onStatusPending(st *message.StatusPending) {
 				continue
 			}
 			if id == r.id {
-				r.authMulticast(vc)
+				r.resendOwn(st.Replica, vc)
+			} else {
+				r.sendRaw(st.Replica, vc)
 			}
-			r.sendRaw(st.Replica, vc)
 		}
 		return
 	}
@@ -496,17 +490,19 @@ func (r *Replica) onStatusPending(st *message.StatusPending) {
 	// view-changes.
 	if r.vc.newView != nil && !st.HasNewView {
 		if r.vc.newView.Replica == r.id {
-			r.authMulticast(r.vc.newView)
+			r.resendOwn(st.Replica, r.vc.newView)
+		} else {
+			r.sendRaw(st.Replica, r.vc.newView)
 		}
-		r.sendRaw(st.Replica, r.vc.newView)
 		for id, vc := range r.vc.forView {
 			if getBit(st.VCs, int(id)) {
 				continue
 			}
 			if id == r.id {
-				r.authMulticast(vc)
+				r.resendOwn(st.Replica, vc)
+			} else {
+				r.sendRaw(st.Replica, vc)
 			}
-			r.sendRaw(st.Replica, vc)
 		}
 	}
 }
@@ -517,20 +513,21 @@ func (r *Replica) onStatusPending(st *message.StatusPending) {
 // with their own messages when they see the laggard's status.
 func (r *Replica) helpLaggingView(peer message.NodeID) {
 	if vc, ok := r.vc.forView[r.id]; ok {
-		r.authMulticast(vc)
-		r.sendRaw(peer, vc)
+		r.resendOwn(peer, vc)
 	}
 	if !r.vc.pending && r.vc.newView != nil {
 		if r.vc.newView.Replica == r.id {
-			r.authMulticast(r.vc.newView)
+			r.resendOwn(peer, r.vc.newView)
+		} else {
+			r.sendRaw(peer, r.vc.newView)
 		}
-		r.sendRaw(peer, r.vc.newView)
 		for _, ref := range r.vc.newView.V {
 			if vc, ok := r.vc.forView[ref.Replica]; ok {
 				if ref.Replica == r.id {
-					r.authMulticast(vc)
+					r.resendOwn(peer, vc)
+				} else {
+					r.sendRaw(peer, vc)
 				}
-				r.sendRaw(peer, vc)
 			}
 		}
 	}

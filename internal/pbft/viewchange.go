@@ -290,7 +290,14 @@ func (r *Replica) buildViewChange(nv message.View) *message.ViewChange {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, s := range seqs {
-		vc.Q = append(vc.Q, message.QInfo{Seq: s, Entries: r.vc.qset[s]})
+		// Copy the entries: the live qset keeps mutating (computePQ bumps
+		// views in place), and the message we are building is stored, hashed
+		// into certificates, and re-marshaled for retransmission — its body
+		// must be frozen at build time.
+		vc.Q = append(vc.Q, message.QInfo{
+			Seq:     s,
+			Entries: append([]message.DV(nil), r.vc.qset[s]...),
+		})
 	}
 	return vc
 }

@@ -353,10 +353,143 @@ func (n *Network) deliver(dst message.NodeID, payload []byte) {
 		atomic.AddUint64(&n.stats.MsgsDropped, 1)
 		return
 	}
+	n.deliverEp(ep, payload)
+}
+
+func (n *Network) deliverEp(ep *endpoint, payload []byte) {
 	select {
 	case ep.queue <- payload:
 	default:
 		atomic.AddUint64(&n.stats.MsgsOverflow, 1)
+	}
+}
+
+// multicast is the coalesced fan-out behind transport.Multicaster: one
+// submission delivers payload to every destination, taking each network
+// lock once for the whole set instead of once per destination. Its
+// observable behavior (stats, filters, loss/dup/jitter draws, delivery
+// order) is identical to looping send over dsts — the PRNG is consumed in
+// the same per-destination order — so simulations are reproducible across
+// the serial and pipelined egress paths.
+func (n *Network) multicast(src message.NodeID, dsts []message.NodeID, payload []byte) {
+	if n.closed.Load() {
+		return
+	}
+	type hop struct {
+		ep      *endpoint
+		cfg     LinkConfig
+		payload []byte
+	}
+	// Small groups (every BFT multicast) plan on the stack; per-multicast
+	// heap traffic would eat the coalescing win.
+	var hopBuf [16]hop
+	hops := hopBuf[:0]
+	if len(dsts) > len(hopBuf) {
+		hops = make([]hop, 0, len(dsts))
+	}
+	var dropped uint64
+
+	// One read-lock round: link decisions for every destination.
+	n.mu.RLock()
+	filter := n.filter
+	for _, dst := range dsts {
+		if dst == src {
+			continue
+		}
+		atomic.AddUint64(&n.stats.MsgsSent, 1)
+		atomic.AddUint64(&n.stats.BytesSent, uint64(len(payload)))
+		ep := n.endpoints[dst]
+		if ep == nil || n.blocked[linkKey{src, dst}] {
+			dropped++
+			continue
+		}
+		cfg, ok := n.overrides[linkKey{src, dst}]
+		if !ok {
+			cfg = n.defaults
+		}
+		hops = append(hops, hop{ep: ep, cfg: cfg, payload: payload})
+	}
+	n.mu.RUnlock()
+
+	// Adversary hook outside the lock (filters may reconfigure the network).
+	if filter != nil {
+		kept := hops[:0]
+		for _, h := range hops {
+			p, deliver := filter(src, h.ep.id, h.payload)
+			if !deliver {
+				dropped++
+				continue
+			}
+			h.payload = p
+			kept = append(kept, h)
+		}
+		hops = kept
+	}
+
+	// One PRNG round for the whole set.
+	type fate struct {
+		loss, dup bool
+		jitter    time.Duration
+	}
+	var fateBuf [16]fate
+	fates := fateBuf[:]
+	if len(hops) > len(fateBuf) {
+		fates = make([]fate, len(hops))
+	} else {
+		fates = fates[:len(hops)]
+	}
+	n.rngMu.Lock()
+	for i, h := range hops {
+		fates[i].loss = h.cfg.LossRate > 0 && n.rng.Float64() < h.cfg.LossRate
+		fates[i].dup = h.cfg.DupRate > 0 && n.rng.Float64() < h.cfg.DupRate
+		if h.cfg.Jitter > 0 {
+			fates[i].jitter = time.Duration(n.rng.Int63n(int64(h.cfg.Jitter)))
+		}
+	}
+	n.rngMu.Unlock()
+
+	now := time.Now()
+	var delayed []*delivery
+	for i, h := range hops {
+		if fates[i].loss {
+			dropped++
+			continue
+		}
+		delay := h.cfg.Latency + fates[i].jitter
+		if h.cfg.BytesPerSec > 0 {
+			delay += time.Duration(float64(len(h.payload)) / h.cfg.BytesPerSec * float64(time.Second))
+		}
+		copies := 1
+		if fates[i].dup {
+			copies = 2
+		}
+		for c := 0; c < copies; c++ {
+			if delay <= 0 {
+				n.deliverEp(h.ep, h.payload)
+				continue
+			}
+			delayed = append(delayed, &delivery{
+				at:      now.Add(delay),
+				dst:     h.ep.id,
+				payload: h.payload,
+				seq:     atomic.AddUint64(&seqCounter, 1),
+			})
+		}
+	}
+	if dropped > 0 {
+		atomic.AddUint64(&n.stats.MsgsDropped, dropped)
+	}
+	if len(delayed) > 0 {
+		// One heap round and one scheduler wake for the whole batch.
+		n.qMu.Lock()
+		for _, d := range delayed {
+			heap.Push(&n.q, d)
+		}
+		n.qMu.Unlock()
+		select {
+		case n.wake <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -408,6 +541,7 @@ func (n *Network) run() {
 // --- endpoint (transport.Transport implementation) ---
 
 var _ transport.Transport = (*endpoint)(nil)
+var _ transport.Multicaster = (*endpoint)(nil)
 var _ transport.Network = (*Network)(nil)
 
 // Self implements transport.Transport.
@@ -420,11 +554,20 @@ func (ep *endpoint) Send(dst message.NodeID, payload []byte) {
 
 // Multicast implements transport.Transport.
 func (ep *endpoint) Multicast(dsts []message.NodeID, payload []byte) {
-	for _, d := range dsts {
-		if d != ep.id {
-			ep.net.send(ep.id, d, payload)
-		}
-	}
+	ep.net.multicast(ep.id, dsts, payload)
+}
+
+// MulticastOwned implements transport.Multicaster: the whole destination
+// set is submitted in one coalesced round. The simulator's delivery queues
+// retain payload references (zero-copy), so release is never called and the
+// buffer falls to the garbage collector, per the Multicaster contract.
+func (ep *endpoint) MulticastOwned(dsts []message.NodeID, payload []byte, _ func([]byte)) {
+	ep.net.multicast(ep.id, dsts, payload)
+}
+
+// SendOwned implements transport.Multicaster (single-destination form).
+func (ep *endpoint) SendOwned(dst message.NodeID, payload []byte, _ func([]byte)) {
+	ep.net.send(ep.id, dst, payload)
 }
 
 // Close implements transport.Transport.

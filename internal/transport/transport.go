@@ -33,6 +33,27 @@ type Transport interface {
 	Close()
 }
 
+// Multicaster is an optional Transport extension for the egress pipeline:
+// a batched, ownership-transferring send surface. A substrate that
+// implements it can coalesce the n per-replica datagrams of one multicast
+// into a single submission (one lock round in the simulator, one tight
+// syscall loop over one buffer in udpnet) instead of n independent sends.
+//
+// Ownership: the caller must not touch payload again until release(payload)
+// runs; the transport calls release once it no longer references the bytes,
+// letting the caller recycle pooled wire buffers. A substrate that retains
+// payload indefinitely (the simulator's zero-copy delivery queues) may
+// never call release — the buffer then simply falls to the garbage
+// collector, which is always safe. release may be nil.
+type Multicaster interface {
+	// MulticastOwned behaves like Transport.Multicast with the ownership
+	// contract above.
+	MulticastOwned(dsts []message.NodeID, payload []byte, release func([]byte))
+	// SendOwned behaves like Transport.Send with the ownership contract
+	// above.
+	SendOwned(dst message.NodeID, payload []byte, release func([]byte))
+}
+
 // Network is the attachment point replicas and clients need; the simulated
 // network and the UDP address book both provide it.
 type Network interface {
