@@ -186,13 +186,28 @@ func BenchmarkThroughput00PipelinedEgress(b *testing.B) {
 	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.EgressPipeline = true })
 }
 
+// BenchmarkThroughput00InlineExec / BenchmarkThroughput00StagedExec pin the
+// stage-3 executor the same way: inline runs Service.Execute, checkpoint
+// digesting, and reply construction on the event loop; staged ships them to
+// the ordered executor goroutine so agreement for batch n+1 overlaps
+// execution of batch n. See also BenchmarkExecPipeline in internal/executor
+// for the execution stage alone.
+func BenchmarkThroughput00InlineExec(b *testing.B) {
+	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.ExecPipeline = false })
+}
+
+func BenchmarkThroughput00StagedExec(b *testing.B) {
+	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.ExecPipeline = true })
+}
+
 func benchThroughputOpt(b *testing.B, mut func(*pbft.Config)) {
 	c, _ := benchClusterOpt(b, pbft.ModeMAC, 4, func(cfg *pbft.Config) {
-		// Pin both pipelines on before the variant's mutation (the defaults
-		// adapt to core count): each serial-vs-pipelined pair then differs
-		// by exactly one pipeline on any host.
+		// Pin all three pipelines on before the variant's mutation (the
+		// defaults adapt to core count): each serial-vs-pipelined pair then
+		// differs by exactly one pipeline on any host.
 		cfg.Opt.Pipeline = true
 		cfg.Opt.EgressPipeline = true
+		cfg.Opt.ExecPipeline = true
 		mut(cfg)
 	})
 	b.ResetTimer()

@@ -78,6 +78,13 @@ func InteriorDigest(level, index int, sum crypto.Incr) crypto.Digest {
 	return crypto.DigestOfU64([]uint64{uint64(level), uint64(index)}, d[:])
 }
 
+// CombinedDigest folds the partition-tree root and the checkpointed
+// reply-cache blob into the digest carried by checkpoint messages — the
+// one value every replica must agree on for a checkpoint to stabilize.
+func CombinedDigest(root crypto.Digest, extra []byte) crypto.Digest {
+	return crypto.DigestOf(root[:], extra)
+}
+
 // NewManager builds the tree for region with the given fan-out and takes the
 // initial checkpoint at sequence number 0.
 func NewManager(region *statemachine.Region, fanout int) *Manager {

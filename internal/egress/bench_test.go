@@ -37,10 +37,10 @@ func (s *benchSealer) Generation() uint64 { return s.ks.Generation() }
 // benchmark measures.
 type countTransport struct{ sent atomic.Uint64 }
 
-func (t *countTransport) Self() message.NodeID                       { return 0 }
-func (t *countTransport) Send(message.NodeID, []byte)                { t.sent.Add(1) }
-func (t *countTransport) Multicast([]message.NodeID, []byte)         { t.sent.Add(1) }
-func (t *countTransport) Close()                                     {}
+func (t *countTransport) Self() message.NodeID               { return 0 }
+func (t *countTransport) Send(message.NodeID, []byte)        { t.sent.Add(1) }
+func (t *countTransport) Multicast([]message.NodeID, []byte) { t.sent.Add(1) }
+func (t *countTransport) Close()                             {}
 func (t *countTransport) SendOwned(_ message.NodeID, p []byte, release func([]byte)) {
 	t.sent.Add(1)
 	release(p)

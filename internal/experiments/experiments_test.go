@@ -61,8 +61,19 @@ func TestRegistry(t *testing.T) {
 // -bench (see bench_test.go) and in cmd/bftbench.
 func TestE5CheckpointSmoke(t *testing.T) {
 	tables := E5Checkpoint(1)
-	if len(tables) != 1 || len(tables[0].Rows) != 9 {
+	if len(tables) != 2 || len(tables[0].Rows) != 9 {
 		t.Fatalf("unexpected table shape: %+v", tables)
+	}
+	// The live-replica table: one inline and one staged row, both with
+	// checkpoint work recorded through Replica.Metrics().
+	live := tables[1]
+	if len(live.Rows) != 2 {
+		t.Fatalf("live table rows: %+v", live.Rows)
+	}
+	for _, row := range live.Rows {
+		if row[1] == "0" || row[3] == "0" {
+			t.Fatalf("live replica row recorded no checkpoint work: %v", row)
+		}
 	}
 }
 

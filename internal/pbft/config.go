@@ -84,13 +84,23 @@ type Options struct {
 	EgressPipeline bool
 	// EgressWorkers sets the egress pool size; 0 means GOMAXPROCS.
 	EgressWorkers int
+	// ExecPipeline is stage 3 of the replica pipeline: state-machine
+	// execution, checkpoint digesting, and reply construction move off the
+	// event loop onto a single ordered executor goroutine
+	// (internal/executor) that exclusively owns the service Region, the
+	// checkpoint manager, and the reply cache. Agreement for batch n+1
+	// then overlaps execution of batch n. Protocol state stays
+	// single-threaded on the event loop; rare paths that must observe
+	// execution state (view-change rollback, state transfer, recovery
+	// state checking) rendezvous with the executor.
+	ExecPipeline bool
 }
 
 // DefaultOptions enables everything, like the thesis's BFT configuration.
-// The ingress and egress pipelines are enabled when more than one core is
-// available; on a single core the worker pools only add scheduling
-// overhead, so the serial paths are kept (set Pipeline/EgressPipeline
-// explicitly to force either).
+// The ingress, egress, and executor pipelines are enabled when more than
+// one core is available; on a single core the extra goroutines only add
+// scheduling overhead, so the serial paths are kept (set Pipeline /
+// EgressPipeline / ExecPipeline explicitly to force any of them).
 func DefaultOptions() Options {
 	multicore := runtime.GOMAXPROCS(0) > 1
 	return Options{
@@ -104,6 +114,7 @@ func DefaultOptions() Options {
 		InlineThreshold:  255,
 		Pipeline:         multicore,
 		EgressPipeline:   multicore,
+		ExecPipeline:     multicore,
 	}
 }
 

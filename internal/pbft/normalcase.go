@@ -1,10 +1,11 @@
 package pbft
 
 import (
-	"encoding/binary"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/crypto"
+	"repro/internal/executor"
 	"repro/internal/message"
 	"repro/internal/vlog"
 )
@@ -24,12 +25,13 @@ func (r *Replica) onRequest(req *message.Request) {
 	}
 
 	// Exactly-once: replay the cached reply for the last executed timestamp,
-	// drop anything older (§2.3.3).
-	if cr, ok := r.replyCache[client]; ok {
-		if req.Timestamp < cr.timestamp {
+	// drop anything older (§2.3.3). On the staged path the check reads the
+	// event-loop mirror; the executor serves the actual retransmission.
+	if ts, ok := r.lastReplied(client); ok {
+		if req.Timestamp < ts {
 			return
 		}
-		if req.Timestamp == cr.timestamp {
+		if req.Timestamp == ts {
 			r.resendCachedReply(client)
 			return
 		}
@@ -106,21 +108,13 @@ func (r *Replica) dequeueExecuted(client message.NodeID, d crypto.Digest) {
 }
 
 func (r *Replica) resendCachedReply(client message.NodeID) {
-	cr := r.replyCache[client]
-	if cr == nil {
+	if r.staged() {
+		r.xs.ex.ResendReply(client, r.view)
 		return
 	}
-	rep := &message.Reply{
-		View:         r.view,
-		Timestamp:    cr.timestamp,
-		Client:       client,
-		Replica:      r.id,
-		Tentative:    cr.tentative,
-		HasResult:    true,
-		Result:       cr.result,
-		ResultDigest: crypto.DigestOf(cr.result),
+	if cr := r.replyCache.Get(client); cr != nil {
+		r.sendTo(client, executor.CachedReply(r.id, r.view, client, cr))
 	}
-	r.sendTo(client, rep)
 }
 
 // ---------------------------------------------------------------------------
@@ -166,7 +160,7 @@ func (r *Replica) takeBatch() []*message.Request {
 		}
 		delete(r.queuedByCli, req.Client)
 		// Skip anything already executed (duplicate arrivals).
-		if cr, ok := r.replyCache[req.Client]; ok && req.Timestamp <= cr.timestamp {
+		if ts, ok := r.lastReplied(req.Client); ok && req.Timestamp <= ts {
 			continue
 		}
 		// Skip requests already assigned to a live slot (a retransmission
@@ -551,14 +545,22 @@ func (r *Replica) batchRequests(pp *message.PrePrepare) []*message.Request {
 
 // execBatch executes every request of the batch at slot s against the
 // service state and replies to clients. tentative selects §5.1.2 semantics.
+// With the stage-3 executor, the state-machine half (Service.Execute,
+// reply construction, checkpoint digesting) is dispatched as ordered
+// commands and overlaps the protocol work for subsequent batches; all
+// protocol bookkeeping below stays on the event loop either way.
 func (r *Replica) execBatch(s *vlog.Slot, tentative bool) {
 	pp := s.PrePrepare
 	seq := s.Seq
-	for _, req := range r.batchRequests(pp) {
-		if req == nil {
-			continue // null request: no-op (§2.3.5)
+	if r.staged() {
+		r.dispatchBatch(pp, seq, tentative)
+	} else {
+		for _, req := range r.batchRequests(pp) {
+			if req == nil {
+				continue // null request: no-op (§2.3.5)
+			}
+			r.execOne(req, pp.NonDet, tentative, seq)
 		}
-		r.execOne(req, pp.NonDet, tentative, seq)
 	}
 	r.lastExec = seq
 	r.execRecords[seq] = execRecord{digest: s.Digest, tentative: tentative}
@@ -575,13 +577,20 @@ func (r *Replica) execBatch(s *vlog.Slot, tentative bool) {
 	}
 
 	// Checkpoint right after (tentative) execution of a multiple of K; the
-	// checkpoint message goes out only once the batch commits (§5.1.2).
+	// checkpoint message goes out only once the batch commits (§5.1.2). On
+	// the staged path the digest comes back as an event (onCkptTaken),
+	// which broadcasts or defers by the commit state at report time.
 	if seq%r.cfg.CheckpointInterval == 0 {
-		d := r.takeCheckpointNow(seq)
-		if tentative {
-			r.pendingCkpts[seq] = d
+		if r.staged() {
+			r.metrics.CheckpointsTaken++
+			r.xs.ex.TakeCheckpoint(seq, r.xs.epoch)
 		} else {
-			r.broadcastCheckpoint(seq, d)
+			d := r.takeCheckpointNow(seq)
+			if tentative {
+				r.pendingCkpts[seq] = d
+			} else {
+				r.broadcastCheckpoint(seq, d)
+			}
 		}
 	}
 }
@@ -596,13 +605,25 @@ func (r *Replica) finalizeBatch(s *vlog.Slot) {
 	}
 	// The batch's replies are no longer tentative.
 	if s.PrePrepare != nil {
+		var finals []executor.Final
 		for _, req := range r.batchRequests(s.PrePrepare) {
 			if req == nil {
 				continue
 			}
-			if cr, ok := r.replyCache[req.Client]; ok && cr.timestamp == req.Timestamp {
-				cr.tentative = false
+			if r.staged() {
+				if mark, ok := r.xs.repMarks[req.Client]; ok &&
+					mark.ts == req.Timestamp && mark.tentative {
+					mark.tentative = false
+					r.xs.repMarks[req.Client] = mark
+					finals = append(finals, executor.Final{
+						Client: req.Client, Timestamp: req.Timestamp})
+				}
+			} else {
+				r.replyCache.MarkFinal(req.Client, req.Timestamp)
 			}
+		}
+		if len(finals) > 0 {
+			r.xs.ex.Finalize(finals)
 		}
 	}
 	if d, ok := r.pendingCkpts[s.Seq]; ok {
@@ -611,7 +632,8 @@ func (r *Replica) finalizeBatch(s *vlog.Slot) {
 	}
 }
 
-// execOne applies a single request and sends the reply.
+// execOne applies a single request and sends the reply (serial path; the
+// staged twin is dispatchBatch + executor execOne).
 func (r *Replica) execOne(req *message.Request, nondet []byte, tentative bool, seq message.Seq) {
 	client := req.Client
 	d := req.Digest()
@@ -620,8 +642,8 @@ func (r *Replica) execOne(req *message.Request, nondet []byte, tentative bool, s
 		r.dequeueExecuted(client, d)
 	}()
 
-	if cr, ok := r.replyCache[client]; ok && req.Timestamp <= cr.timestamp {
-		if req.Timestamp == cr.timestamp {
+	if cr := r.replyCache.Get(client); cr != nil && req.Timestamp <= cr.Timestamp {
+		if req.Timestamp == cr.Timestamp {
 			r.resendCachedReply(client)
 		}
 		return
@@ -639,34 +661,12 @@ func (r *Replica) execOne(req *message.Request, nondet []byte, tentative bool, s
 
 // replyTo builds, caches, and sends the reply for an executed request.
 func (r *Replica) replyTo(req *message.Request, result []byte, tentative bool) {
-	full := !r.cfg.Opt.DigestReplies ||
-		req.Replier == r.id || req.Replier == message.NoNode ||
-		len(result) <= smallResultThreshold
-
-	rep := &message.Reply{
-		View:         r.view,
-		Timestamp:    req.Timestamp,
-		Client:       req.Client,
-		Replica:      r.id,
-		Tentative:    tentative,
-		HasResult:    true,
-		Result:       result,
-		ResultDigest: crypto.DigestOf(result),
-	}
 	// Cache the canonical (timestamp, result) for retransmissions; the
 	// protocol envelope (view, tentative) is rebuilt when resending so the
 	// checkpointed reply cache is identical across replicas.
-	r.replyCache[req.Client] = &cachedReply{
-		timestamp: req.Timestamp, result: result, tentative: tentative}
-
-	send := rep
-	if !full {
-		slim := *rep
-		slim.HasResult = false
-		slim.Result = nil
-		send = &slim
-	}
-	r.sendTo(req.Client, send)
+	r.replyCache.Set(req.Client, req.Timestamp, result, tentative)
+	r.sendTo(req.Client, executor.BuildReply(r.id, r.cfg.Opt.DigestReplies,
+		smallResultThreshold, r.view, req, result, tentative))
 }
 
 // drainReadOnly answers queued read-only requests once the state reflects
@@ -691,24 +691,16 @@ func (r *Replica) drainReadOnly() {
 			continue
 		}
 		req := e.req
+		if r.staged() {
+			// Eligibility was decided here on protocol state; command order
+			// guarantees the executor answers from a state reflecting
+			// exactly the dispatched prefix.
+			r.xs.ex.ExecReadOnly(req, r.view)
+			continue
+		}
 		result := r.service.Execute(req.Client, req.Op, nil)
-		rep := &message.Reply{
-			View:         r.view,
-			Timestamp:    req.Timestamp,
-			Client:       req.Client,
-			Replica:      r.id,
-			HasResult:    true,
-			Result:       result,
-			ResultDigest: crypto.DigestOf(result),
-		}
-		full := !r.cfg.Opt.DigestReplies ||
-			req.Replier == r.id || req.Replier == message.NoNode ||
-			len(result) <= smallResultThreshold
-		if !full {
-			rep.HasResult = false
-			rep.Result = nil
-		}
-		r.sendTo(req.Client, rep)
+		r.sendTo(req.Client, executor.BuildReply(r.id, r.cfg.Opt.DigestReplies,
+			smallResultThreshold, r.view, req, result, false))
 	}
 }
 
@@ -719,14 +711,17 @@ func (r *Replica) drainReadOnly() {
 // ckptDigest combines the partition-tree root and the reply-cache blob into
 // the digest carried by checkpoint messages.
 func ckptDigest(root crypto.Digest, extra []byte) crypto.Digest {
-	return crypto.DigestOf(root[:], extra)
+	return checkpoint.CombinedDigest(root, extra)
 }
 
-// takeCheckpointNow snapshots the state and returns the checkpoint digest.
+// takeCheckpointNow snapshots the state and returns the checkpoint digest
+// (serial path; the staged path dispatches TakeCheckpoint to the executor).
 func (r *Replica) takeCheckpointNow(seq message.Seq) crypto.Digest {
-	extra := r.marshalReplyCache()
+	t0 := time.Now()
+	extra := r.replyCache.Marshal()
 	snap := r.ckpt.Take(seq, extra)
 	r.metrics.CheckpointsTaken++
+	r.metrics.CkptDigestTime += time.Since(t0)
 	return ckptDigest(snap.Root, snap.Extra)
 }
 
@@ -762,11 +757,13 @@ func (r *Replica) checkCkptStable(seq message.Seq) {
 	if seq <= r.log.Low() {
 		return
 	}
-	snap, ok := r.ckpt.Snapshot(seq)
+	// Our own digest for seq: from the manager on the serial path, from
+	// the digest mirror on the staged path (absent until the executor's
+	// report arrives; the report re-runs this check).
+	mine, ok := r.ownCkptDigest(seq)
 	if !ok {
 		return
 	}
-	mine := ckptDigest(snap.Root, snap.Extra)
 	votes := r.ckptVotes[seq]
 	n := 0
 	for _, d := range votes {
@@ -786,7 +783,7 @@ func (r *Replica) makeStable(seq message.Seq) {
 		return
 	}
 	r.log.AdvanceLow(seq)
-	r.ckpt.DiscardBefore(seq)
+	r.discardCkptsBefore(seq)
 	for s := range r.ckptVotes {
 		if s <= seq {
 			delete(r.ckptVotes, s)
@@ -824,7 +821,7 @@ func (r *Replica) makeStable(seq message.Seq) {
 // execution fails to reach it within a grace period (a replica lagging by
 // milliseconds must not thrash with spurious transfers).
 func (r *Replica) maybeStartTransfer(seq message.Seq) {
-	if seq <= r.ckpt.Latest().Seq || seq <= r.lastExec {
+	if seq <= r.latestCkptSeq() || seq <= r.lastExec {
 		return
 	}
 	votes := r.ckptVotes[seq]
@@ -847,65 +844,6 @@ func (r *Replica) maybeStartTransfer(seq message.Seq) {
 		}
 		return
 	}
-}
-
-// ---------------------------------------------------------------------------
-// Reply cache serialization (part of checkpointed state, §2.4.4 last-rep)
-// ---------------------------------------------------------------------------
-
-func (r *Replica) marshalReplyCache() []byte {
-	// Deterministic order: ascending client id.
-	ids := make([]message.NodeID, 0, len(r.replyCache))
-	for id := range r.replyCache {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	var out []byte
-	var buf [8]byte
-	binary.LittleEndian.PutUint32(buf[:4], uint32(len(ids)))
-	out = append(out, buf[:4]...)
-	for _, id := range ids {
-		cr := r.replyCache[id]
-		binary.LittleEndian.PutUint32(buf[:4], uint32(id))
-		out = append(out, buf[:4]...)
-		binary.LittleEndian.PutUint64(buf[:], cr.timestamp)
-		out = append(out, buf[:8]...)
-		binary.LittleEndian.PutUint32(buf[:4], uint32(len(cr.result)))
-		out = append(out, buf[:4]...)
-		out = append(out, cr.result...)
-	}
-	return out
-}
-
-func (r *Replica) installReplyCache(b []byte) {
-	cache := make(map[message.NodeID]*cachedReply)
-	if len(b) < 4 {
-		r.replyCache = cache
-		return
-	}
-	n := int(binary.LittleEndian.Uint32(b[:4]))
-	off := 4
-	for i := 0; i < n; i++ {
-		if off+16 > len(b) {
-			break
-		}
-		id := message.NodeID(binary.LittleEndian.Uint32(b[off:]))
-		ts := binary.LittleEndian.Uint64(b[off+4:])
-		rl := int(binary.LittleEndian.Uint32(b[off+12:]))
-		off += 16
-		if off+rl > len(b) {
-			break
-		}
-		result := append([]byte(nil), b[off:off+rl]...)
-		off += rl
-		// Checkpointed replies correspond to committed execution.
-		cache[id] = &cachedReply{timestamp: ts, result: result, tentative: false}
-	}
-	r.replyCache = cache
 }
 
 // ---------------------------------------------------------------------------

@@ -13,14 +13,15 @@ import (
 )
 
 // testConfig returns a small, fast configuration for integration tests.
-// The ingress and egress pipelines are forced on (DefaultOptions adapts
-// them to the core count) so the whole protocol suite exercises both staged
-// paths on any machine; ingress_test.go and egress_test.go cover the serial
-// paths explicitly.
+// The ingress, egress, and executor pipelines are forced on (DefaultOptions
+// adapts them to the core count) so the whole protocol suite exercises all
+// three staged paths on any machine; ingress_test.go, egress_test.go, and
+// executor_test.go cover the serial paths explicitly.
 func testConfig() Config {
 	opt := DefaultOptions()
 	opt.Pipeline = true
 	opt.EgressPipeline = true
+	opt.ExecPipeline = true
 	return Config{
 		Mode:               ModeMAC,
 		Opt:                opt,

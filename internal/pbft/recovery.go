@@ -278,8 +278,19 @@ func (r *Replica) noteRecoveryRequest(req *message.Request) {
 
 // executeRecoveryRequest runs when a recovery request commits and executes
 // (§4.3.2): every other replica refreshes its session keys, and the result
-// tells the recovering replica the request's sequence number.
+// tells the recovering replica the request's sequence number. The staged
+// path splits it: the result is precomputed at dispatch (recoveryResult)
+// and the protocol effects run on the event loop after the batch command
+// ships (recoveryRequestEffects) — recovery requests never touch the
+// Region, so nothing of theirs belongs on the executor.
 func (r *Replica) executeRecoveryRequest(req *message.Request, seq message.Seq) []byte {
+	r.recoveryRequestEffects(req, seq)
+	return recoveryResult(seq)
+}
+
+// recoveryRequestEffects applies the protocol-side effects of an executed
+// recovery request.
+func (r *Replica) recoveryRequestEffects(req *message.Request, seq message.Seq) {
 	recoverer := req.Client
 	if recoverer != r.id {
 		// Keys we chose for the recovering replica may be known to the
@@ -291,6 +302,11 @@ func (r *Replica) executeRecoveryRequest(req *message.Request, seq message.Seq) 
 	} else if r.rec.inRecovery && r.rec.phase == recRequesting {
 		r.finishRecoveryRequest(seq)
 	}
+}
+
+// recoveryResult encodes a recovery request's reply: the sequence number it
+// executed at.
+func recoveryResult(seq message.Seq) []byte {
 	var out [8]byte
 	binary.LittleEndian.PutUint64(out[:], uint64(seq))
 	return out[:]
@@ -346,23 +362,28 @@ func maxSeq(a, b message.Seq) message.Seq {
 }
 
 // startStateCheck verifies the local state against the partition tree and
-// repairs corruption via state transfer (§5.3.3).
+// repairs corruption via state transfer (§5.3.3). The digest sweep and the
+// page invalidation run on the executor (rendezvous) on the staged path;
+// the transfer itself is driven from the event loop as usual.
 func (r *Replica) startStateCheck() {
 	r.rec.phase = recChecking
-	bad := r.ckpt.RecomputeFull()
+	var bad []int
+	r.execSync(func() { bad = r.ckpt.RecomputeFull() })
 	if len(bad) > 0 {
 		// Pages whose content no longer matches their digest were corrupted
 		// behind the library's back. Fetch the latest stable checkpoint;
 		// the per-page comparison inside the transfer re-fetches exactly
 		// the damaged pages.
 		low := r.log.Low()
-		if snap, ok := r.ckpt.Snapshot(low); ok {
+		if d, ok := r.ownCkptDigest(low); ok {
 			// Invalidate the bad pages' live digests so the transfer diff
 			// sees them as stale.
-			for _, p := range bad {
-				r.ckpt.InstallPage(p, 0, r.region.Page(p))
-			}
-			r.startStateTransfer(low, ckptDigest(snap.Root, snap.Extra))
+			r.execSync(func() {
+				for _, p := range bad {
+					r.ckpt.InstallPage(p, 0, r.region.Page(p))
+				}
+			})
+			r.startStateTransfer(low, d)
 		}
 	}
 	r.rec.phase = recWaitingStable

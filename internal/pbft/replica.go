@@ -9,6 +9,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/crypto"
 	"repro/internal/egress"
+	"repro/internal/executor"
 	"repro/internal/ingress"
 	"repro/internal/message"
 	"repro/internal/statemachine"
@@ -41,12 +42,17 @@ type Metrics struct {
 	// transmitted; retransmission recovers, like any datagram lost on the
 	// wire. Zero when the egress pipeline is off (serial sends never drop).
 	OutboxDrops uint64
-}
-
-type cachedReply struct {
-	timestamp uint64
-	result    []byte
-	tentative bool
+	// ExecQueueDepth samples the stage-3 executor's command-queue depth at
+	// snapshot time; ExecStalls counts event-loop dispatches that found
+	// the queue full and had to block. Both zero when ExecPipeline is off.
+	ExecQueueDepth uint64
+	ExecStalls     uint64
+	// PagesCopied / PagesDigested surface the checkpoint manager's
+	// copy-on-write and digesting counters (§5.3, Table 8.12);
+	// CkptDigestTime is the cumulative wall time spent taking checkpoints.
+	PagesCopied    uint64
+	PagesDigested  uint64
+	CkptDigestTime time.Duration
 }
 
 // execRecord remembers what executed at a sequence number so new-view
@@ -107,11 +113,20 @@ type Replica struct {
 	lastCommitted message.Seq // highest seq with all <= it committed+executed
 	execRecords   map[message.Seq]execRecord
 
+	// Execution state. On the serial path all four are event-loop-owned;
+	// with cfg.Opt.ExecPipeline the region, service (its Execute), the
+	// checkpoint manager, and the reply cache belong to the stage-3
+	// executor goroutine (r.xs), and the event loop touches them only
+	// inside execSync rendezvous. service's IsReadOnly / ProposeNonDet /
+	// CheckNonDet stay callable from the event loop (see the
+	// statemachine.Service contract).
 	region  *statemachine.Region
 	service statemachine.Service
 	ckpt    *checkpoint.Manager
 
-	replyCache map[message.NodeID]*cachedReply
+	replyCache *executor.ReplyCache
+	// xs is the staged-executor state; nil when ExecPipeline is off.
+	xs *execState
 
 	// Checkpoint protocol.
 	ckptVotes    map[message.Seq]map[message.NodeID]crypto.Digest
@@ -179,7 +194,7 @@ func NewReplica(cfg Config, dir *Directory, net Network,
 		active:       true,
 		log:          vlog.New(cfg.N, cfg.LogWindow),
 		execRecords:  make(map[message.Seq]execRecord),
-		replyCache:   make(map[message.NodeID]*cachedReply),
+		replyCache:   executor.NewReplyCache(),
 		ckptVotes:    make(map[message.Seq]map[message.NodeID]crypto.Digest),
 		pendingCkpts: make(map[message.Seq]crypto.Digest),
 		queuedByCli:  make(map[message.NodeID]crypto.Digest),
@@ -242,6 +257,14 @@ func NewReplica(cfg Config, dir *Directory, net Network,
 		r.out = egress.New(cfg.Opt.EgressWorkers, cfg.InboxCap,
 			&sealer{mode: cfg.Mode, n: cfg.N, ks: r.ks, kp: r.kp}, r.trans)
 	}
+	if cfg.Opt.ExecPipeline {
+		// Stage 3: execution, checkpoint digesting, and reply construction
+		// move onto the executor goroutine, which takes ownership of the
+		// region, service execution, checkpoint manager, and reply cache.
+		// Created last: its replies route through the egress pipeline or
+		// the transport above.
+		r.startExecutor()
+	}
 	return r
 }
 
@@ -270,6 +293,11 @@ func (r *Replica) Stop() {
 	}
 	close(r.stopC)
 	r.wg.Wait()
+	if r.xs != nil {
+		// After the event loop (no more dispatchers), before the egress
+		// pipeline and transport (in-flight replies route through them).
+		r.xs.ex.Close()
+	}
 	if r.out != nil {
 		r.out.Close() // before the transport: the collector transmits through it
 	}
@@ -299,10 +327,25 @@ func (r *Replica) do(fn func()) {
 // Metrics returns a snapshot of the replica's counters.
 func (r *Replica) Metrics() Metrics {
 	var m Metrics
-	r.do(func() { m = r.metrics })
+	r.do(func() {
+		m = r.metrics
+		if r.xs == nil {
+			// Serial path: the manager is event-loop-owned, read directly.
+			m.PagesCopied = r.ckpt.PagesCopied
+			m.PagesDigested = r.ckpt.PagesDigested
+		}
+	})
 	m.InboxDrops = r.inboxDrops.Load()
 	if r.out != nil {
 		m.OutboxDrops = r.out.Stats().Rejected
+	}
+	if r.xs != nil {
+		s := r.xs.ex.Stats()
+		m.ExecQueueDepth = uint64(s.Depth)
+		m.ExecStalls = s.Stalls
+		m.PagesCopied = s.PagesCopied
+		m.PagesDigested = s.PagesDigested
+		m.CkptDigestTime = s.CkptTime
 	}
 	return m
 }
@@ -331,20 +374,20 @@ func (r *Replica) LowWaterMark() message.Seq {
 // StateDigest returns the live state root digest.
 func (r *Replica) StateDigest() crypto.Digest {
 	var d crypto.Digest
-	r.do(func() { d = r.ckpt.RootDigest() })
+	r.do(func() { r.execSync(func() { d = r.ckpt.RootDigest() }) })
 	return d
 }
 
-// InspectService calls fn with the replica's service instance inside the
-// event loop (read-only use in tests).
+// InspectService calls fn with the replica's service instance while both
+// the event loop and the executor are quiesced (read-only use in tests).
 func (r *Replica) InspectService(fn func(statemachine.Service)) {
-	r.do(func() { fn(r.service) })
+	r.do(func() { r.execSync(func() { fn(r.service) }) })
 }
 
 // CorruptStatePage simulates an attacker flipping state bytes behind the
 // library's back; the state-checking pass of recovery must find it.
 func (r *Replica) CorruptStatePage(page int) {
-	r.do(func() { r.ckpt.CorruptLivePage(page) })
+	r.do(func() { r.execSync(func() { r.ckpt.CorruptLivePage(page) }) })
 }
 
 const tickInterval = 2 * time.Millisecond
@@ -353,8 +396,18 @@ func (r *Replica) run() {
 	defer r.wg.Done()
 	ticker := time.NewTicker(tickInterval)
 	defer ticker.Stop()
+	// execEvC is the stage-3 executor's doorbell; nil (never ready) when
+	// the executor is off.
+	var execEvC chan struct{}
+	if r.xs != nil {
+		execEvC = r.xs.evC
+	}
 	for {
 		select {
+		case <-execEvC:
+			for _, ev := range r.takeExecEvents() {
+				r.onCkptTaken(ev)
+			}
 		case p := <-r.inbox:
 			if r.cfg.Behavior == Crashed {
 				continue

@@ -80,24 +80,34 @@ func (r *Replica) pickReplier(not message.NodeID) message.NodeID {
 
 func (r *Replica) issueNextFetch() {
 	f := &r.fetch
-	for f.outstanding == nil {
-		if len(f.queue) == 0 {
-			r.finishFetchIfDone()
-			return
-		}
-		item := f.queue[0]
-		f.queue = f.queue[1:]
-		// Skip partitions that already match locally.
-		if item.level > 0 && r.liveNodeDigest(item.level, int(item.index)) == item.digest {
-			continue
-		}
-		f.outstanding = &item
-		r.sendFetch()
+	if f.outstanding != nil {
 		return
 	}
+	// Pop until a partition actually differs locally; one rendezvous covers
+	// the whole skip-scan on the staged path.
+	var next *fetchItem
+	r.execSync(func() {
+		for len(f.queue) > 0 {
+			item := f.queue[0]
+			f.queue = f.queue[1:]
+			// Skip partitions that already match locally.
+			if item.level > 0 && r.liveNodeDigest(item.level, int(item.index)) == item.digest {
+				continue
+			}
+			next = &item
+			break
+		}
+	})
+	if next == nil {
+		r.finishFetchIfDone()
+		return
+	}
+	f.outstanding = next
+	r.sendFetch()
 }
 
-// liveNodeDigest reads the live tree digest of a partition.
+// liveNodeDigest reads the live tree digest of a partition — a checkpoint-
+// manager read, so on the staged path call it only inside execSync.
 func (r *Replica) liveNodeDigest(level, index int) crypto.Digest {
 	// Live tree == state "now"; NodeAt with a far-future sequence number
 	// falls through every snapshot overlay to the live tree.
@@ -114,7 +124,7 @@ func (r *Replica) sendFetch() {
 	msg := &message.Fetch{
 		Level:     uint8(item.level),
 		Index:     item.index,
-		LastKnown: r.ckpt.Latest().Seq,
+		LastKnown: r.latestCkptSeq(),
 		Target:    f.target,
 		Replier:   f.replier,
 		Replica:   r.id,
@@ -148,25 +158,31 @@ func (r *Replica) fetchTick(now time.Time) {
 	r.sendFetch()
 }
 
-// onFetch serves state to a fetching replica (§5.3.2).
+// onFetch serves state to a fetching replica (§5.3.2). The whole serving
+// path reads snapshot overlays and live pages, so on the staged path it
+// runs as one executor rendezvous (serving is rare — only while a peer is
+// fetching — so stalling the dispatch loop briefly is fine).
 func (r *Replica) onFetch(m *message.Fetch) {
 	if m.Replica == r.id {
 		return
 	}
-	snap, ok := r.ckpt.Snapshot(m.Target)
-	if m.Replier == r.id && ok {
-		r.serveFetch(m, snap.Seq)
-		return
-	}
-	// Non-designated replicas (or ones that discarded the checkpoint) offer
-	// their latest stable checkpoint if it is fresher than what the
-	// requester has (guarantees progress when m.Target was collected).
-	low := r.log.Low()
-	if low > m.LastKnown && low > m.Target {
-		if s2, ok2 := r.ckpt.Snapshot(low); ok2 {
-			r.serveFetch(m, s2.Seq)
+	r.execSync(func() {
+		snap, ok := r.ckpt.Snapshot(m.Target)
+		if m.Replier == r.id && ok {
+			r.serveFetch(m, snap.Seq)
+			return
 		}
-	}
+		// Non-designated replicas (or ones that discarded the checkpoint)
+		// offer their latest stable checkpoint if it is fresher than what
+		// the requester has (guarantees progress when m.Target was
+		// collected).
+		low := r.log.Low()
+		if low > m.LastKnown && low > m.Target {
+			if s2, ok2 := r.ckpt.Snapshot(low); ok2 {
+				r.serveFetch(m, s2.Seq)
+			}
+		}
+	})
 }
 
 // serveFetch sends the meta-data (or page data) for one partition at
@@ -238,21 +254,20 @@ func (r *Replica) onMetaData(md *message.MetaData) {
 	} else if computed != item.digest {
 		return
 	}
-	// Enqueue children that differ from our live state.
-	leaf := r.ckpt.Levels() - 1
-	for _, p := range md.Parts {
-		childLevel := item.level + 1
-		var live crypto.Digest
-		if childLevel == leaf {
-			live = r.liveNodeDigest(leaf, int(p.Index))
-		} else {
-			live = r.liveNodeDigest(childLevel, int(p.Index))
+	// Enqueue children that differ from our live state — one rendezvous
+	// covers the whole child set on the staged path.
+	live := make([]crypto.Digest, len(md.Parts))
+	r.execSync(func() {
+		for i, p := range md.Parts {
+			live[i] = r.liveNodeDigest(item.level+1, int(p.Index))
 		}
-		if live == p.Digest {
+	})
+	for i, p := range md.Parts {
+		if live[i] == p.Digest {
 			continue
 		}
 		f.queue = append(f.queue, fetchItem{
-			level:  childLevel,
+			level:  item.level + 1,
 			index:  p.Index,
 			digest: p.Digest,
 			lm:     p.LastMod,
@@ -281,7 +296,7 @@ func (r *Replica) onData(d *message.Data) {
 	if checkpoint.LeafDigest(int(d.Index), d.LastMod, d.Page) != item.digest {
 		return
 	}
-	r.ckpt.InstallPage(int(d.Index), d.LastMod, d.Page)
+	r.execSync(func() { r.ckpt.InstallPage(int(d.Index), d.LastMod, d.Page) })
 	r.metrics.PagesFetched++
 	f.outstanding = nil
 	f.retries = 0
@@ -294,7 +309,16 @@ func (r *Replica) finishFetchIfDone() {
 	if !f.active || len(f.queue) != 0 || f.outstanding != nil || !f.rootVerified {
 		return
 	}
-	if ckptDigest(r.ckpt.RootDigest(), f.extra) != f.targetDigest {
+	rootOK := false
+	r.execSync(func() {
+		if ckptDigest(r.ckpt.RootDigest(), f.extra) != f.targetDigest {
+			return
+		}
+		rootOK = true
+		r.ckpt.SealFetched(f.target, f.extra)
+		r.setRepliesFromCheckpoint(f.extra)
+	})
+	if !rootOK {
 		// Shouldn't happen: every page verified. Restart from the root.
 		f.queue = []fetchItem{{level: 0, index: 0}}
 		f.rootVerified = false
@@ -302,11 +326,15 @@ func (r *Replica) finishFetchIfDone() {
 		return
 	}
 	target := f.target
-	extra := f.extra
 	f.active = false
 
-	r.ckpt.SealFetched(target, extra)
-	r.installReplyCache(extra)
+	if r.staged() {
+		// SealFetched replaced every snapshot with the fetched one; reports
+		// in flight for destroyed snapshots must not land, and the digest
+		// mirror now holds exactly the verified target.
+		r.xs.epoch++
+		r.xs.myCkpts = map[message.Seq]crypto.Digest{target: f.targetDigest}
+	}
 	if target > r.log.Low() {
 		r.log.AdvanceLow(target)
 		for s := range r.ckptVotes {
@@ -418,8 +446,8 @@ func (r *Replica) onStatusActive(st *message.StatusActive) {
 	}
 	// Retransmit checkpoint votes if the peer's stability lags ours.
 	if st.LastStable < r.log.Low() {
-		if snap, ok := r.ckpt.Snapshot(r.log.Low()); ok {
-			cp := &message.Checkpoint{Seq: snap.Seq, Digest: ckptDigest(snap.Root, snap.Extra), Replica: r.id}
+		if d, ok := r.ownCkptDigest(r.log.Low()); ok {
+			cp := &message.Checkpoint{Seq: r.log.Low(), Digest: d, Replica: r.id}
 			r.resendOwn(st.Replica, cp)
 		}
 	}

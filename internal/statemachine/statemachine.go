@@ -11,6 +11,7 @@ package statemachine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/message"
 )
@@ -24,6 +25,13 @@ type Service interface {
 	// Execute applies one operation and returns its result. The client id is
 	// passed so the service can enforce access control (§2.4.2). nondet is
 	// the value agreed through the protocol for this batch (§5.4).
+	//
+	// Concurrency: when the replica's staged executor is enabled
+	// (Config.Opt.ExecPipeline), Execute runs on the executor goroutine
+	// while IsReadOnly, ProposeNonDet, and CheckNonDet keep running on the
+	// protocol event loop. Those three must therefore not read Region
+	// state (decide from the operation bytes and local clocks, as
+	// kvservice and bfs do) or must synchronize internally.
 	Execute(client message.NodeID, op []byte, nondet []byte) []byte
 
 	// IsReadOnly reports whether op does not modify state. It is the
@@ -43,6 +51,12 @@ type Service interface {
 
 // Region is the paged state of one replica. The zero offset layout is owned
 // entirely by the service; the replication library only sees pages.
+//
+// Ownership: a Region belongs to exactly one goroutine at a time — the
+// replica event loop on the serial path, or the stage-3 executor goroutine
+// once Config.Opt.ExecPipeline hands execution off (other goroutines may
+// then touch it only inside executor Sync rendezvous). The mutGuard below
+// turns a violated handoff into a panic even without the race detector.
 type Region struct {
 	pageSize int
 	data     []byte
@@ -50,6 +64,10 @@ type Region struct {
 	// onModify, when set, is invoked before a page is first dirtied; the
 	// checkpoint manager uses it for copy-on-write snapshots.
 	onModify func(page int)
+	// mutGuard is a cheap single-mutator assertion: every mutation
+	// announcement CASes it 0->1 and back, so two goroutines mutating
+	// concurrently trip the panic with high probability.
+	mutGuard atomic.Int32
 }
 
 // NewRegion allocates a region of size bytes divided into pageSize pages.
@@ -81,12 +99,24 @@ func (r *Region) Size() int { return len(r.data) }
 // SetOnModify installs the copy-on-write hook. Pass nil to clear.
 func (r *Region) SetOnModify(f func(page int)) { r.onModify = f }
 
+// beginMut asserts this goroutine is the Region's sole mutator right now;
+// endMut releases the assertion.
+func (r *Region) beginMut() {
+	if !r.mutGuard.CompareAndSwap(0, 1) {
+		panic("statemachine: concurrent Region mutation (single-owner contract violated)")
+	}
+}
+
+func (r *Region) endMut() { r.mutGuard.Store(0) }
+
 // Modify declares that [off, off+n) is about to be written. Services must
 // call it before mutating state, exactly like the thesis's Byz_modify.
 func (r *Region) Modify(off, n int) {
 	if n <= 0 {
 		return
 	}
+	r.beginMut()
+	defer r.endMut()
 	if off < 0 || off+n > len(r.data) {
 		panic(fmt.Sprintf("statemachine: Modify(%d,%d) outside region of %d bytes", off, n, len(r.data)))
 	}
@@ -147,7 +177,11 @@ func (r *Region) DirtyPages() []int {
 }
 
 // ClearDirty resets the dirty set (after a checkpoint is taken).
-func (r *Region) ClearDirty() { clear(r.dirty) }
+func (r *Region) ClearDirty() {
+	r.beginMut()
+	defer r.endMut()
+	clear(r.dirty)
+}
 
 // Clone copies the full region contents (used for baselines and tests).
 func (r *Region) Clone() *Region {
