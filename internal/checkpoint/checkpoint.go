@@ -348,6 +348,27 @@ func (m *Manager) PageAt(seq message.Seq, p int) ([]byte, message.Seq, bool) {
 	return m.region.Page(p), info.LastMod, true
 }
 
+// LiveDigest returns the digest of partition (level, index) in the live
+// tree — the state "now", with no snapshot overlay applied. State transfer
+// diffs fetched meta-data against it to skip partitions that already match.
+func (m *Manager) LiveDigest(level, index int) crypto.Digest {
+	if level < 0 || level >= m.levels || index < 0 || index >= m.width[level] {
+		return crypto.Digest{}
+	}
+	return m.live[level][index].Digest
+}
+
+// AppendLiveDigests appends the live digest of every part (all at one level)
+// to dst, in part order. It exists so the staged replica can price a whole
+// meta-data child set — or a whole fetch window — at one executor
+// rendezvous instead of one per partition.
+func (m *Manager) AppendLiveDigests(dst []crypto.Digest, level int, parts []message.PartInfo) []crypto.Digest {
+	for _, p := range parts {
+		dst = append(dst, m.LiveDigest(level, int(p.Index)))
+	}
+	return dst
+}
+
 // HasSnapshot reports whether checkpoint seq is retained.
 func (m *Manager) HasSnapshot(seq message.Seq) bool {
 	_, ok := m.Snapshot(seq)

@@ -116,6 +116,9 @@ func (m *StatusPending) unmarshalBody(r *reader) {
 // requester already reflects for that partition; Target (c) is the
 // checkpoint whose digest the requester knows (0 = unknown, any recent);
 // Replier (k) is the designated replica that should send the full data.
+// The fetcher keeps a window of these in flight (one per partition, striped
+// across distinct repliers), so (Level, Index) is also the key replies are
+// matched back against.
 type Fetch struct {
 	Level     uint8
 	Index     uint64
@@ -170,12 +173,16 @@ type PartInfo struct {
 }
 
 // MetaData is ⟨META-DATA, c, l, x, P, k⟩: sub-partition digests of partition
-// (Level, Index) at checkpoint Seq. Sent by the designated replier (no MAC
-// needed — the requester verifies against a known digest) or, with a MAC,
-// by other replicas reporting their latest stable checkpoint. LastMod is the
-// partition's own last-modification checkpoint. For the root partition,
-// Extra carries the serialized reply cache (last-rep/last-rep-t of the
-// formal specification), which is part of the checkpointed state.
+// (Level, Index) at checkpoint Seq — sent by the designated replier, or by
+// another replica serving its own latest stable checkpoint when the
+// requested one was discarded. The fetcher matches the reply to its
+// in-flight item by (Level, Index) and accepts it purely on digest
+// verification: Seq is informational (which checkpoint the server used), so
+// a fallback reply at a newer stable checkpoint still lands wherever the
+// partition did not change in between. LastMod is the partition's own
+// last-modification checkpoint. For the root partition, Extra carries the
+// serialized reply cache (last-rep/last-rep-t of the formal specification),
+// which is part of the checkpointed state.
 type MetaData struct {
 	Seq     Seq
 	Level   uint8
@@ -236,8 +243,10 @@ func (m *MetaData) unmarshalBody(r *reader) {
 }
 
 // Data is ⟨DATA, x, lm, p⟩: the full value of page Index, last modified at
-// checkpoint LastMod. The requester verifies it against the digest it
-// learned from meta-data, so no MAC is needed (§5.3.2).
+// checkpoint LastMod. The requester matches it to its in-flight leaf item
+// by Index and verifies it against the digest (and LastMod) it learned from
+// meta-data, so no MAC is needed (§5.3.2); the unauthenticated Replica
+// field is therefore only a weak hint for replier-quality accounting.
 type Data struct {
 	Index   uint64
 	LastMod Seq

@@ -86,6 +86,11 @@ func dropCommits(src, dst message.NodeID, p []byte) ([]byte, bool) {
 // prefix commits.
 func TestReadOnlyWaitsForCommitUnderStagedExecutor(t *testing.T) {
 	cfg := testConfig()
+	// Backups now treat a tentatively-executed batch whose commits never
+	// arrive as grounds for a view change (§2.3.5 liveness); this test
+	// wants the uncommitted window held open artificially, so park the
+	// timer beyond the test's horizon.
+	cfg.ViewChangeTimeout = time.Minute
 	net := simnet.New(simnet.WithSeed(cfg.Seed + 11))
 	t.Cleanup(func() { net.Close() })
 	net.SetFilter(dropCommits)

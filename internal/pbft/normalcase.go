@@ -819,10 +819,17 @@ func (r *Replica) makeStable(seq message.Seq) {
 // checkpoint beyond our window triggers the transfer immediately; one
 // within it becomes a candidate that fetchTick promotes only if ordinary
 // execution fails to reach it within a grace period (a replica lagging by
-// milliseconds must not thrash with spurious transfers).
+// milliseconds must not thrash with spurious transfers). Candidates are
+// recorded even while a transfer is ACTIVE: a weak certificate ahead of the
+// current fetch target is the signal that the target was collected
+// cluster-wide and the transfer must be re-pointed — refusing it wedged the
+// fetcher on a Fetch nobody could ever serve.
 func (r *Replica) maybeStartTransfer(seq message.Seq) {
 	if seq <= r.latestCkptSeq() || seq <= r.lastExec {
 		return
+	}
+	if r.fetch.active && seq <= r.fetch.target {
+		return // already fetching at least this far
 	}
 	votes := r.ckptVotes[seq]
 	count := make(map[crypto.Digest]int)
@@ -837,10 +844,11 @@ func (r *Replica) maybeStartTransfer(seq message.Seq) {
 			r.startStateTransfer(seq, d)
 			return
 		}
-		if !r.fetch.active && (r.fetch.candSeq == 0 || seq > r.fetch.candSeq) {
+		if r.fetch.candSeq == 0 || seq > r.fetch.candSeq {
 			r.fetch.candSeq = seq
 			r.fetch.candDigest = d
 			r.fetch.candSince = time.Now()
+			r.fetch.candExec = r.lastExec
 		}
 		return
 	}
@@ -856,16 +864,32 @@ func (r *Replica) inWV(v message.View, seq message.Seq) bool {
 }
 
 // updateVCTimer arms the view-change timer while this backup waits for
-// queued requests to execute, per §2.3.5.
+// queued requests to execute, per §2.3.5. A tentatively executed batch whose
+// commits have not arrived also counts as waiting: the request is answered
+// only by a tentative reply the client cannot certify until it commits
+// (§5.1.2), and if the primary died right after its pre-prepare the commit
+// quorum never forms — the retransmissions then hit the reply cache instead
+// of the queue, so the queue alone would leave every backup timerless and
+// the view change would never start. The two predicates age differently:
+// a queued request holds the deadline fixed (steady progress on OTHER
+// requests must not mask a primary censoring this one), while
+// tentative-only waiting restarts the deadline whenever the committed
+// frontier advances — under sustained load some batch is always tentatively
+// ahead of its commits, and a healthy pipelining cluster must not view-
+// change over it.
 func (r *Replica) updateVCTimer() {
 	if r.isPrimary() || r.vc.pending {
 		r.vcTimerDeadline = time.Time{}
 		return
 	}
-	waiting := len(r.queue) > 0
-	if waiting && r.vcTimerDeadline.IsZero() {
-		r.vcTimerDeadline = time.Now().Add(r.vcTimeout)
-	} else if !waiting {
+	queueWaiting := len(r.queue) > 0
+	tentWaiting := r.lastCommitted < r.lastExec
+	switch {
+	case !queueWaiting && !tentWaiting:
 		r.vcTimerDeadline = time.Time{}
+	case r.vcTimerDeadline.IsZero(),
+		!queueWaiting && r.lastCommitted > r.vcTimerCommitted:
+		r.vcTimerDeadline = time.Now().Add(r.vcTimeout)
+		r.vcTimerCommitted = r.lastCommitted
 	}
 }

@@ -19,16 +19,24 @@ import (
 
 // Metrics counts protocol events at one replica.
 type Metrics struct {
-	RequestsExecuted    uint64
-	BatchesExecuted     uint64
-	TentativeExecs      uint64
-	Rollbacks           uint64
-	ViewChanges         uint64 // view changes this replica initiated or joined
-	NewViewsProcessed   uint64
-	CheckpointsTaken    uint64
-	StableCheckpoints   uint64
-	StateTransfers      uint64
-	PagesFetched        uint64
+	RequestsExecuted  uint64
+	BatchesExecuted   uint64
+	TentativeExecs    uint64
+	Rollbacks         uint64
+	ViewChanges       uint64 // view changes this replica initiated or joined
+	NewViewsProcessed uint64
+	CheckpointsTaken  uint64
+	StableCheckpoints uint64
+	StateTransfers    uint64
+	PagesFetched      uint64
+	// State-transfer observability (statefetch.go): LastTransferTime is the
+	// wall clock of the last completed transfer that advanced execution
+	// (re-targets extend the same transfer), TransferBytes counts page
+	// bytes installed, FetchRetries counts per-item timeout rotations to a
+	// new designated replier.
+	LastTransferTime    time.Duration
+	TransferBytes       uint64
+	FetchRetries        uint64
 	Recoveries          uint64
 	RecoveriesCompleted uint64
 	LastRecoveryTime    time.Duration
@@ -150,7 +158,10 @@ type Replica struct {
 	rec recoveryState
 
 	// Timers (deadline-polled from the tick loop).
-	vcTimerDeadline  time.Time // zero = stopped
+	vcTimerDeadline time.Time // zero = stopped
+	// vcTimerCommitted is lastCommitted when the deadline was last (re)set:
+	// tentative-only waiting restarts the timer on commit progress.
+	vcTimerCommitted message.Seq
 	vcTimeout        time.Duration
 	statusDeadline   time.Time
 	keyDeadline      time.Time
