@@ -1,27 +1,51 @@
 // Package bft is the public interface of the BFT library — the Go analogue
-// of the C interface in §6.2 of Castro's thesis (Byz_init_client,
-// Byz_invoke, Byz_init_replica, Byz_modify). It wraps the protocol engine
-// in repro/internal/pbft behind a small, stable surface:
+// of the C interface in §6.2 of Castro's thesis (Byz_init_replica,
+// Byz_init_client, Byz_invoke, Byz_modify). It is a PER-NODE surface: each
+// replica and each client is constructed independently against any network
+// substrate, so one binary runs a whole cluster in simulation or a single
+// node of a multi-process deployment over real UDP.
 //
-//	svc := ... // your deterministic state machine
-//	cluster := bft.NewCluster(bft.Options{Replicas: 4}, svc)
+// Per-node construction (§6.2's Byz_init_replica / Byz_init_client):
+//
+//	net := bft.SimNetwork(bft.SimSeed(1))        // or bft.UDPNetwork(...)
+//	r0 := bft.NewReplica(0, opts, svcFactory, net)
+//	r0.Start()
+//	defer r0.Stop()
+//	...
+//	client := bft.NewClient(0, opts, net)
+//	res, err := client.Invoke(ctx, op)           // cancellable (Byz_invoke)
+//	res, err = client.Invoke(ctx, op, bft.ReadOnly)
+//
+// Convenience all-in-one cluster (wraps the per-node API):
+//
+//	cluster := bft.NewCluster(bft.Options{Replicas: 4}, svcFactory)
 //	cluster.Start()
 //	defer cluster.Stop()
-//	client := cluster.NewClient()
-//	result, err := client.Invoke(op, false)
+//	pool := cluster.NewClientPool(8)             // 8 distinct client principals
+//	res, err := pool.Invoke(ctx, op)
 //
-// The service executes inside a library-managed memory region divided into
-// pages; services must announce writes with Region.Modify (or use the
-// WriteAt helpers) so checkpointing, state transfer, and proactive recovery
-// work. See internal/kvservice and internal/bfs for two complete services.
+// The engine admits one operation in flight per client principal (§2.3.2);
+// ClientPool is how callers get concurrency — it fans invocations across k
+// principals. Clusters built over SimNetwork expose typed fault injection
+// (Partition, Isolate, Heal, SetLinkProfile) and every replica exposes a
+// Metrics snapshot; there is no escape hatch into the engine.
+//
+// Services: the replicated application implements Service over a
+// library-managed paged Region and must announce writes with Region.Modify
+// (the thesis's Byz_modify) so checkpointing, state transfer, and proactive
+// recovery work. Two complete services ship as public packages: bft/kv (a
+// counter/KV demo service) and bft/fs (the BFS replicated file system of
+// Chapter 6).
 package bft
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/crypto"
 	"repro/internal/message"
 	"repro/internal/pbft"
-	"repro/internal/simnet"
 	"repro/internal/statemachine"
 )
 
@@ -48,91 +72,203 @@ const (
 	BFTPK = pbft.ModePK
 )
 
-// Options configures a cluster.
+// Metrics is the per-replica counter snapshot returned by Replica.Metrics:
+// protocol events (batches, view changes, checkpoints, state transfers,
+// recoveries) and engine-stage health (inbox/outbox drops, executor queue
+// depth). It is a plain value — reading it never perturbs the replica.
+type Metrics = pbft.Metrics
+
+// Digest is a SHA-256 state or message digest.
+type Digest = crypto.Digest
+
+// Behavior selects a fault-injection personality for a replica — the
+// supported way to stand up misbehaving replicas in demos and tests.
+type Behavior = pbft.Behavior
+
+// Fault-injection behaviors.
+const (
+	// Correct follows the protocol (the zero value).
+	Correct = pbft.Correct
+	// Crashed ignores every message (fail-stop).
+	Crashed = pbft.Crashed
+	// SilentPrimary follows the protocol except that it never sends
+	// pre-prepares while primary, forcing view changes.
+	SilentPrimary = pbft.SilentPrimary
+	// ConflictingPrimary assigns the same sequence number to different
+	// batches for different backups (Byzantine primary; safety holds).
+	ConflictingPrimary = pbft.ConflictingPrimary
+	// CorruptDigest sends prepare/commit messages with corrupted digests.
+	CorruptDigest = pbft.CorruptDigest
+	// WrongResult executes correctly but corrupts every reply (masked by
+	// client reply certificates).
+	WrongResult = pbft.WrongResult
+)
+
+// Options configures replicas and clients. The zero value is a sensible
+// 4-replica simulation setup; all defaults are documented per field.
 type Options struct {
 	// Replicas is the group size n; the cluster tolerates (n-1)/3 faults.
-	// Default 4.
+	// Default 4. Values in 1..3 are rejected (3f+1 needs at least 4).
 	Replicas int
 	// Mode is BFT or BFTPK. Default BFT.
 	Mode Mode
-	// StateSize is the service region size in bytes.
+	// StateSize is the service region size in bytes. Default 64 KiB.
 	StateSize int
 	// PageSize is the checkpoint page size. Default 4096.
 	PageSize int
 	// CheckpointInterval is the checkpoint period K. Default 128.
 	CheckpointInterval uint64
-	// ViewChangeTimeout is the initial primary-failure timeout.
+	// LogWindow is L, the water-mark window width bounding how far the
+	// protocol runs ahead of the last stable checkpoint. Default
+	// 2×CheckpointInterval; must be at least CheckpointInterval.
+	LogWindow uint64
+	// ViewChangeTimeout is the initial primary-failure timeout; it doubles
+	// for consecutive view changes. Default 250ms.
 	ViewChangeTimeout time.Duration
 	// ProactiveRecovery enables BFT-PR with the given watchdog period
 	// (Chapter 4); zero disables it.
 	ProactiveRecovery time.Duration
-	// DisableOptimizations turns off every Chapter 5 optimization
+	// DisableOptimizations turns off every Chapter 5 protocol optimization
 	// (digest replies, tentative execution, read-only, batching, separate
-	// request transmission); useful for measurement.
+	// request transmission); useful for measurement. The engine's internal
+	// pipeline stages (ingress/egress/executor) are NOT optimizations and
+	// stay on — they are how the replica runs, not what the paper ablates.
 	DisableOptimizations bool
-	// Seed makes runs reproducible.
+	// FetchWindow bounds parallel state-transfer partition fetches in
+	// flight (§6.2.2). Default 8; 1 reproduces the serial fetch engine.
+	FetchWindow int
+	// PipelineWorkers sizes the ingress (decode+verify) worker pool;
+	// EgressWorkers sizes the egress (marshal+seal) pool. 0 means
+	// GOMAXPROCS. On single-core hosts the pipelines default off.
+	PipelineWorkers int
+	EgressWorkers   int
+	// InboxCap bounds each replica's receive queue; overflow models
+	// receive-buffer loss (counted in Metrics.InboxDrops). Default 8192.
+	InboxCap int
+	// MaxClients is the number of client principals pre-registered by the
+	// deterministic offline key setup: client ids (NewClient's first
+	// argument) 0..MaxClients-1 are usable with this cluster. Default 128.
+	MaxClients int
+	// RetryTimeout is the client's base retransmission timeout (backs off
+	// exponentially, §5.2). Default 150ms. MaxRetries bounds
+	// retransmissions before Invoke fails. Default 10.
+	RetryTimeout time.Duration
+	MaxRetries   int
+	// Behavior injects a fault personality into a replica built with
+	// NewReplica. (For clusters, use WithBehavior.)
+	Behavior Behavior
+	// Seed makes runs reproducible (simulation link model, replica PRNGs).
 	Seed int64
 }
 
-// Cluster is a replica group plus its (simulated) network.
-type Cluster struct {
-	inner *pbft.Cluster
+// Validate checks the options for contradictions. The constructors call it
+// and panic on error (configuration is a construction-time fault, like a
+// bad address); call it directly to get the error instead.
+func (o Options) Validate() error {
+	if o.Replicas != 0 && o.Replicas < 4 {
+		return fmt.Errorf("bft: Replicas=%d; the protocol needs n ≥ 4 (n=3f+1, f ≥ 1)", o.Replicas)
+	}
+	// Compare LogWindow against the EFFECTIVE checkpoint interval: an
+	// explicit L below a defaulted K=128 would wedge the cluster (the
+	// window could never contain a checkpoint, so it could never advance).
+	k := o.CheckpointInterval
+	if k == 0 {
+		k = 128
+	}
+	if o.LogWindow != 0 && o.LogWindow < k {
+		return fmt.Errorf("bft: LogWindow=%d < CheckpointInterval=%d; the water-mark window must cover at least one checkpoint interval", o.LogWindow, k)
+	}
+	for name, v := range map[string]int{
+		"StateSize":       o.StateSize,
+		"PageSize":        o.PageSize,
+		"FetchWindow":     o.FetchWindow,
+		"PipelineWorkers": o.PipelineWorkers,
+		"EgressWorkers":   o.EgressWorkers,
+		"InboxCap":        o.InboxCap,
+		"MaxClients":      o.MaxClients,
+		"MaxRetries":      o.MaxRetries,
+	} {
+		if v < 0 {
+			return fmt.Errorf("bft: %s must not be negative", name)
+		}
+	}
+	if o.RetryTimeout < 0 || o.ViewChangeTimeout < 0 || o.ProactiveRecovery < 0 {
+		return fmt.Errorf("bft: durations must not be negative")
+	}
+	return nil
 }
 
-// Client invokes operations on the replicated service.
-type Client = pbft.Client
+// replicas returns the effective group size.
+func (o Options) replicas() int {
+	if o.Replicas == 0 {
+		return 4
+	}
+	return o.Replicas
+}
 
-// NewCluster builds an in-process cluster of opts.Replicas replicas, each
-// running its own instance of the service.
-func NewCluster(opts Options, svc ServiceFactory) *Cluster {
-	if opts.Replicas == 0 {
-		opts.Replicas = 4
+func (o Options) maxClients() int {
+	if o.MaxClients == 0 {
+		return 128
+	}
+	return o.MaxClients
+}
+
+// engineConfig lowers public Options onto the engine's per-replica Config.
+// Engine pipeline defaults always come from pbft.DefaultOptions;
+// DisableOptimizations strips only the Chapter 5 protocol optimizations.
+func (o Options) engineConfig() pbft.Config {
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
+	opt := pbft.DefaultOptions()
+	if o.DisableOptimizations {
+		opt = opt.WithoutOptimizations()
+	}
+	if o.FetchWindow > 0 {
+		opt.FetchWindow = o.FetchWindow
+	}
+	if o.PipelineWorkers > 0 {
+		opt.PipelineWorkers = o.PipelineWorkers
+	}
+	if o.EgressWorkers > 0 {
+		opt.EgressWorkers = o.EgressWorkers
 	}
 	cfg := pbft.Config{
-		Mode:               opts.Mode,
-		Opt:                pbft.DefaultOptions(),
-		CheckpointInterval: message.Seq(opts.CheckpointInterval),
-		ViewChangeTimeout:  opts.ViewChangeTimeout,
-		StateSize:          opts.StateSize,
-		PageSize:           opts.PageSize,
-		WatchdogInterval:   opts.ProactiveRecovery,
-		Seed:               opts.Seed,
+		N:                  o.replicas(),
+		Mode:               o.Mode,
+		Opt:                opt,
+		CheckpointInterval: message.Seq(o.CheckpointInterval),
+		LogWindow:          message.Seq(o.LogWindow),
+		ViewChangeTimeout:  o.ViewChangeTimeout,
+		StateSize:          o.StateSize,
+		PageSize:           o.PageSize,
+		WatchdogInterval:   o.ProactiveRecovery,
+		InboxCap:           o.InboxCap,
+		Behavior:           o.Behavior,
+		Seed:               o.Seed,
 	}
-	if opts.ProactiveRecovery > 0 {
-		cfg.KeyRefreshInterval = opts.ProactiveRecovery / 2
+	if o.ProactiveRecovery > 0 {
+		cfg.KeyRefreshInterval = o.ProactiveRecovery / 2
 	}
-	if opts.DisableOptimizations {
-		cfg.Opt = pbft.Options{}
-	}
-	return &Cluster{inner: pbft.NewLocalCluster(opts.Replicas, cfg, svc, nil)}
+	return cfg
 }
 
-// Start launches every replica.
-func (c *Cluster) Start() { c.inner.Start() }
+// dirCache memoizes offline directories by (n, maxClients): the setup is
+// deterministic and a Directory is safe to share (principals re-register
+// only their own identical keys), so in-process clusters and pools don't
+// re-derive n+maxClients keypairs per node.
+var dirCache sync.Map // [2]int -> *pbft.Directory
 
-// Stop shuts the cluster down.
-func (c *Cluster) Stop() { c.inner.Stop() }
-
-// NewClient attaches a client to the cluster.
-func (c *Cluster) NewClient() *Client { return c.inner.NewClient() }
-
-// Network exposes the simulated network for fault injection (partitions,
-// latency, loss) in tests and demos.
-func (c *Cluster) Network() *simnet.Network { return c.inner.Net }
-
-// Replicas returns the number of replicas.
-func (c *Cluster) Replicas() int { return c.inner.N() }
-
-// FaultTolerance returns f = (n-1)/3.
-func (c *Cluster) FaultTolerance() int { return c.inner.F() }
-
-// Recover triggers proactive recovery of replica i immediately.
-func (c *Cluster) Recover(i int) { c.inner.Replica(i).Recover() }
-
-// Internal exposes the underlying engine cluster for advanced use
-// (fault-injection behaviors, metrics); the API of internal/pbft is not
-// covered by this package's compatibility promise.
-func (c *Cluster) Internal() *pbft.Cluster { return c.inner }
+// offlineDirectory derives the shared offline key setup for this
+// configuration; every node builds (or shares) an identical copy.
+func (o Options) offlineDirectory() *pbft.Directory {
+	key := [2]int{o.replicas(), o.maxClients()}
+	if d, ok := dirCache.Load(key); ok {
+		return d.(*pbft.Directory)
+	}
+	d, _ := dirCache.LoadOrStore(key, pbft.OfflineDirectory(key[0], key[1]))
+	return d.(*pbft.Directory)
+}
 
 // NewRegion allocates a paged region for standalone service testing.
 func NewRegion(size, pageSize int) *Region {

@@ -1,0 +1,198 @@
+package bft
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNotSimulated is returned by the fault-injection methods of a Cluster
+// that runs over a real network: partitions and link profiles are a
+// simulation instrument. (Kill real replicas with Replica.Stop instead.)
+var ErrNotSimulated = errors.New("bft: cluster network is not simulated")
+
+// ClusterOption configures NewCluster beyond Options.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	net       Network
+	behaviors map[int]Behavior
+}
+
+// WithNetwork runs the cluster over the given network instead of a fresh
+// SimNetwork — e.g. a UDPNetwork for a real-sockets cluster in one
+// process. The caller keeps ownership: Cluster.Stop does not close it.
+func WithNetwork(net Network) ClusterOption {
+	return func(c *clusterConfig) { c.net = net }
+}
+
+// WithBehavior gives replica i a fault-injection personality.
+func WithBehavior(i int, b Behavior) ClusterOption {
+	return func(c *clusterConfig) {
+		if c.behaviors == nil {
+			c.behaviors = make(map[int]Behavior)
+		}
+		c.behaviors[i] = b
+	}
+}
+
+// Cluster is a convenience over the per-node API: it constructs
+// opts.Replicas replicas on one network (a fresh simulated network unless
+// WithNetwork says otherwise) and hands out clients and pools with
+// sequential principal ids. Everything it does can be done with
+// NewReplica/NewClient directly.
+type Cluster struct {
+	opts     Options
+	net      Network
+	sim      *SimNet // non-nil when the cluster runs over a simulated network
+	ownsNet  bool    // the cluster created sim and must close it
+	replicas []*Replica
+
+	mu         sync.Mutex
+	nextClient int
+	closers    []func()
+	stopped    bool
+}
+
+// NewCluster builds an in-process cluster of opts.Replicas replicas, each
+// running its own instance of the service.
+func NewCluster(opts Options, svc ServiceFactory, copts ...ClusterOption) *Cluster {
+	var cc clusterConfig
+	for _, o := range copts {
+		o(&cc)
+	}
+	c := &Cluster{opts: opts, net: cc.net}
+	if c.net == nil {
+		c.sim = SimNetwork(SimSeed(opts.Seed + 7))
+		c.net = c.sim
+		c.ownsNet = true
+	} else if s, ok := cc.net.(*SimNet); ok {
+		// A caller-supplied simulated network (e.g. custom link profiles
+		// via SimLinks) still gets the typed fault-injection surface; the
+		// caller keeps ownership, so Stop leaves it open.
+		c.sim = s
+	}
+	for i := 0; i < opts.replicas(); i++ {
+		ropts := opts
+		// Options.Behavior is the per-node field for NewReplica; in a
+		// cluster, personalities come from WithBehavior per index —
+		// inheriting it here would silently make every replica faulty.
+		ropts.Behavior = Correct
+		if b, ok := cc.behaviors[i]; ok {
+			ropts.Behavior = b
+		}
+		c.replicas = append(c.replicas, NewReplica(i, ropts, svc, c.net))
+	}
+	return c
+}
+
+// Start launches every replica.
+func (c *Cluster) Start() {
+	for _, r := range c.replicas {
+		r.Start()
+	}
+}
+
+// Stop stops replicas and every client/pool the cluster handed out, and
+// shuts the network down if the cluster created it.
+func (c *Cluster) Stop() {
+	for _, r := range c.replicas {
+		r.Stop()
+	}
+	c.mu.Lock()
+	closers := c.closers
+	c.closers = nil
+	c.stopped = true
+	c.mu.Unlock()
+	for _, f := range closers {
+		f()
+	}
+	if c.ownsNet {
+		c.sim.Close()
+	}
+}
+
+// NewClient attaches a fresh client principal to the cluster. It panics
+// after Stop — a stopped cluster's network is gone, so the client could
+// only ever time out. (Construction stays under the lock so a racing Stop
+// either sees the client in closers or happens-before its creation.)
+func (c *Cluster) NewClient() *Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		panic("bft: NewClient on a stopped cluster")
+	}
+	k := c.nextClient
+	c.nextClient++
+	cl := NewClient(k, c.opts, c.net)
+	c.closers = append(c.closers, cl.Close)
+	return cl
+}
+
+// NewClientPool attaches a pool of k fresh client principals. Like
+// NewClient, it panics after Stop.
+func (c *Cluster) NewClientPool(k int) *ClientPool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		panic("bft: NewClientPool on a stopped cluster")
+	}
+	first := c.nextClient
+	c.nextClient += k
+	p := NewClientPoolAt(first, k, c.opts, c.net)
+	c.closers = append(c.closers, p.Close)
+	return p
+}
+
+// Replica returns replica i's handle.
+func (c *Cluster) Replica(i int) *Replica { return c.replicas[i] }
+
+// Replicas returns the number of replicas n.
+func (c *Cluster) Replicas() int { return len(c.replicas) }
+
+// FaultTolerance returns f = (n-1)/3.
+func (c *Cluster) FaultTolerance() int { return (len(c.replicas) - 1) / 3 }
+
+// Recover triggers proactive recovery of replica i immediately.
+func (c *Cluster) Recover(i int) { c.replicas[i].Recover() }
+
+// Partition splits the replicas into groups; replica-to-replica traffic
+// crossing a group boundary is dropped until Heal. Clients keep reaching
+// every replica. Returns ErrNotSimulated over a real network.
+func (c *Cluster) Partition(groups ...[]int) error {
+	if c.sim == nil {
+		return ErrNotSimulated
+	}
+	c.sim.Partition(groups...)
+	return nil
+}
+
+// Isolate severs all traffic to and from replica i (clients included).
+// Returns ErrNotSimulated over a real network.
+func (c *Cluster) Isolate(i int) error {
+	if c.sim == nil {
+		return ErrNotSimulated
+	}
+	c.sim.Isolate(i)
+	return nil
+}
+
+// Heal removes every partition and isolation. Returns ErrNotSimulated
+// over a real network.
+func (c *Cluster) Heal() error {
+	if c.sim == nil {
+		return ErrNotSimulated
+	}
+	c.sim.Heal()
+	return nil
+}
+
+// SetLinkProfile replaces the simulated network's default link model
+// (latency, jitter, bandwidth, loss, duplication) at runtime. Returns
+// ErrNotSimulated over a real network.
+func (c *Cluster) SetLinkProfile(p LinkProfile) error {
+	if c.sim == nil {
+		return ErrNotSimulated
+	}
+	c.sim.SetLinkProfile(p)
+	return nil
+}

@@ -1,0 +1,7 @@
+package bft
+
+import "repro/internal/pbft"
+
+// EngineConfig exposes the Options lowering for regression tests: the
+// public surface must not silently change what reaches the engine.
+func EngineConfig(o Options) pbft.Config { return o.engineConfig() }

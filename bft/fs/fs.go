@@ -1,0 +1,58 @@
+// Package fs is the public face of BFS, the Byzantine-fault-tolerant file
+// system of Chapter 6: an inode/block file system implemented as a
+// replicated state machine, driven through a typed client that speaks the
+// library-wide invocation contract — so it runs over a bft.Client, a
+// bft.ClientPool, or any other Invoker:
+//
+//	cluster := bft.NewCluster(bft.Options{StateSize: fs.MinRegionSize(4096)}, fs.Factory)
+//	...
+//	fc := fs.NewClient(cluster.NewClient())
+//	dir, _ := fc.MkdirAll("/projects/bft")
+//	fc.WriteFile(dir, "README.md", data)
+package fs
+
+import (
+	"repro/internal/bfs"
+	"repro/internal/statemachine"
+)
+
+// Client is the typed BFS client (the analogue of the thesis's NFS relay).
+// Set Strict to disable the read-only optimization for lookups and reads —
+// the thesis's BFS-strict configuration (§8.6.2).
+type Client = bfs.Client
+
+// Invoker is the execution interface a Client drives: bft.Client,
+// bft.ClientPool, and the engine's clients all satisfy it.
+type Invoker = bfs.Invoker
+
+// Attr is a file's metadata record; DirEntry one directory entry.
+type Attr = bfs.Attr
+
+// DirEntry is one directory entry returned by Client.Readdir.
+type DirEntry = bfs.DirEntry
+
+// File types stored in Attr.Type.
+const (
+	TypeFile    = bfs.TypeFile
+	TypeDir     = bfs.TypeDir
+	TypeSymlink = bfs.TypeSymlink
+)
+
+// RootIno is the root directory's inode number.
+const RootIno = bfs.RootIno
+
+// MaxFileSize bounds one file's size (direct + single-indirect blocks).
+const MaxFileSize = bfs.MaxFileSize
+
+// Factory builds one BFS instance per replica; pass it to bft.NewReplica
+// or bft.NewCluster together with a StateSize of MinRegionSize(blocks).
+func Factory(r *statemachine.Region) statemachine.Service {
+	return bfs.Factory(r)
+}
+
+// NewClient wraps an invoker in the typed file-system client.
+func NewClient(inv Invoker) *Client { return bfs.NewClient(inv) }
+
+// MinRegionSize returns the smallest region holding a file system with the
+// given number of data blocks.
+func MinRegionSize(blocks int) int { return bfs.MinRegionSize(blocks) }

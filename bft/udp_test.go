@@ -1,0 +1,106 @@
+package bft_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/bft"
+	"repro/bft/kv"
+)
+
+// TestPublicAPIOverUDP is the multi-process-shaped acceptance test: a
+// 4-replica cluster stands up over real UDP loopback sockets purely
+// through the public per-node API, serves a ClientPool, survives the
+// primary being killed mid-load, and completes — no simulator, no
+// internal packages, no escape hatches.
+func TestPublicAPIOverUDP(t *testing.T) {
+	net, err := bft.LoopbackUDP(4, 3)
+	if err != nil {
+		t.Skipf("cannot bind loopback ports: %v", err)
+	}
+
+	opts := bft.Options{
+		Replicas:          4,
+		ViewChangeTimeout: 500 * time.Millisecond,
+		RetryTimeout:      200 * time.Millisecond,
+		MaxRetries:        20,
+		MaxClients:        3,
+		Seed:              1,
+	}
+
+	// Per-node construction, exactly what one process per node would do.
+	// A reserved port can be lost to another process between LoopbackUDP's
+	// probe and the real bind; that surfaces as an Attach panic, which —
+	// like a LoopbackUDP failure — means loopback ports are unavailable,
+	// not that the library is broken. Scope the recover to construction so
+	// a panic anywhere later still fails the test.
+	replicas := make([]*bft.Replica, 4)
+	var pool *bft.ClientPool
+	bindLost := func() (lost interface{}) {
+		defer func() { lost = recover() }()
+		for i := range replicas {
+			replicas[i] = bft.NewReplica(i, opts, kv.Factory, net)
+			replicas[i].Start()
+		}
+		pool = bft.NewClientPool(3, opts, net)
+		return nil
+	}()
+	t.Cleanup(func() {
+		for _, r := range replicas[1:] {
+			if r != nil {
+				r.Stop()
+			}
+		}
+	})
+	if bindLost != nil {
+		if replicas[0] != nil {
+			replicas[0].Stop()
+		}
+		t.Skipf("loopback port lost between reservation and bind: %v", bindLost)
+	}
+	t.Cleanup(pool.Close)
+	ctx := context.Background()
+
+	// Phase 1: concurrent load through the pool's distinct principals.
+	const phase1 = 9
+	var wg sync.WaitGroup
+	errs := make(chan error, phase1)
+	for i := 0; i < phase1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := pool.Invoke(ctx, kv.Incr()); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("udp pool invoke: %v", err)
+	}
+
+	// Phase 2: kill the primary of view 0. The backups' timers must elect
+	// a new one and the pool must keep completing operations.
+	replicas[0].Stop()
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Invoke(ctx, kv.Incr()); err != nil {
+			t.Fatalf("udp invoke after primary death: %v", err)
+		}
+	}
+
+	// The counter must account for every completed operation exactly once.
+	res, err := pool.Invoke(ctx, kv.Get(), bft.ReadOnly)
+	if err != nil {
+		t.Fatalf("udp read-only: %v", err)
+	}
+	if got := kv.DecodeU64(res); got != phase1+3 {
+		t.Fatalf("counter=%d want %d", got, phase1+3)
+	}
+
+	if v := replicas[1].View(); v == 0 {
+		t.Fatal("no view change after primary death")
+	}
+}

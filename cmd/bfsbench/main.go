@@ -12,11 +12,10 @@ import (
 	"os"
 	"time"
 
+	"repro/bft"
+	"repro/bft/fs"
 	"repro/internal/baseline"
-	"repro/internal/bfs"
-	"repro/internal/kvservice"
 	"repro/internal/message"
-	"repro/internal/pbft"
 	"repro/internal/simnet"
 	"repro/internal/workload"
 )
@@ -28,35 +27,31 @@ func main() {
 		nRep   = flag.Int("n", 4, "replicas for bfs/strict")
 	)
 	flag.Parse()
-	_ = kvservice.MinStateSize
 
-	var fc *bfs.Client
+	var fc *fs.Client
 	var cleanup func()
 
 	switch *target {
 	case "bfs", "strict":
-		cfg := pbft.Config{
-			Mode:               pbft.ModeMAC,
-			Opt:                pbft.DefaultOptions(),
+		cluster := bft.NewCluster(bft.Options{
+			Replicas:           *nRep,
 			CheckpointInterval: 64,
 			LogWindow:          128,
 			ViewChangeTimeout:  2 * time.Second,
-			StateSize:          bfs.MinRegionSize(8192 * *scale),
+			StateSize:          fs.MinRegionSize(8192 * *scale),
+			MaxRetries:         20,
 			Seed:               1,
-		}
-		cluster := pbft.NewLocalCluster(*nRep, cfg, bfs.Factory, nil)
+		}, fs.Factory)
 		cluster.Start()
-		client := cluster.NewClient()
-		client.MaxRetries = 20
-		fc = bfs.NewClient(client)
+		fc = fs.NewClient(cluster.NewClient())
 		fc.Strict = *target == "strict"
 		cleanup = cluster.Stop
 	case "norep":
 		net := simnet.New(simnet.WithSeed(1))
-		srv := baseline.NewServer(net, bfs.MinRegionSize(8192**scale), 4096, bfs.Factory)
+		srv := baseline.NewServer(net, fs.MinRegionSize(8192**scale), 4096, fs.Factory)
 		srv.Start()
 		cl := baseline.NewClient(message.ClientIDBase, net)
-		fc = bfs.NewClient(cl)
+		fc = fs.NewClient(cl)
 		cleanup = func() { cl.Close(); srv.Stop(); net.Close() }
 	default:
 		fmt.Fprintf(os.Stderr, "unknown target %q\n", *target)

@@ -1,62 +1,65 @@
-// Command bftsim runs a scripted demonstration of the BFT library: a
-// replicated counter service survives a Byzantine replica, a primary
-// failure (view change), a network partition (state transfer), and a
-// proactive recovery, narrating each step.
+// Command bftsim runs a scripted demonstration of the BFT library through
+// its public per-node API: a replicated counter service survives a
+// Byzantine replica, a primary failure (view change), a network partition
+// (state transfer), and a proactive recovery, narrating each step.
 //
 //	bftsim -n 4 -mode mac
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/kvservice"
-	"repro/internal/message"
-	"repro/internal/pbft"
+	"repro/bft"
+	"repro/bft/kv"
 )
 
 func main() {
 	var (
 		n    = flag.Int("n", 4, "number of replicas (3f+1)")
 		mode = flag.String("mode", "mac", "authentication: mac (BFT) or pk (BFT-PK)")
+		seed = flag.Int64("seed", -1, "simulation seed (-1: derive from the clock)")
 	)
 	flag.Parse()
 
-	m := pbft.ModeMAC
+	m := bft.BFT
 	if *mode == "pk" {
-		m = pbft.ModePK
+		m = bft.BFTPK
 	}
-	cfg := pbft.Config{
+	if *seed < 0 {
+		*seed = time.Now().UnixNano() % 1000
+	}
+	fmt.Printf("seed %d (rerun with -seed %d to reproduce)\n", *seed, *seed)
+	cluster := bft.NewCluster(bft.Options{
+		Replicas:           *n,
 		Mode:               m,
-		Opt:                pbft.DefaultOptions(),
 		CheckpointInterval: 8,
 		LogWindow:          16,
 		ViewChangeTimeout:  300 * time.Millisecond,
-		StateSize:          kvservice.MinStateSize,
-		Seed:               time.Now().UnixNano() % 1000,
-	}
-	behaviors := map[message.NodeID]pbft.Behavior{
-		message.NodeID(*n - 1): pbft.WrongResult, // one liar from the start
-	}
-	cluster := pbft.NewLocalCluster(*n, cfg, kvservice.Factory, behaviors)
+		StateSize:          kv.MinStateSize,
+		MaxRetries:         30,
+		Seed:               *seed,
+	}, kv.Factory,
+		bft.WithBehavior(*n-1, bft.WrongResult)) // one liar from the start
 	cluster.Start()
 	defer cluster.Stop()
 
 	client := cluster.NewClient()
-	client.MaxRetries = 30
+	ctx := context.Background()
 
 	step := func(format string, args ...interface{}) {
 		fmt.Printf("\n==> "+format+"\n", args...)
 	}
 	incr := func(label string) {
-		res, err := client.Invoke(kvservice.Incr(), false)
+		res, err := client.Invoke(ctx, kv.Incr())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FATAL: %s: %v\n", label, err)
 			os.Exit(1)
 		}
-		fmt.Printf("    counter = %d (%s)\n", kvservice.DecodeU64(res), label)
+		fmt.Printf("    counter = %d (%s)\n", kv.DecodeU64(res), label)
 	}
 
 	step("cluster of %d replicas (%s), tolerating f=%d faults; replica %d lies in every reply",
@@ -66,7 +69,10 @@ func main() {
 	}
 
 	step("isolating the primary (replica 0) — backups will time out and elect a new one")
-	cluster.Net.Isolate(0)
+	if err := cluster.Isolate(0); err != nil {
+		fmt.Fprintln(os.Stderr, "FATAL:", err)
+		os.Exit(1)
+	}
 	t0 := time.Now()
 	incr("after view change")
 	fmt.Printf("    failover took %v; replica 1 now in view %d\n",
@@ -74,7 +80,10 @@ func main() {
 	incr("new view, normal case")
 
 	step("healing the partition — the old primary rejoins and catches up")
-	cluster.Net.Heal()
+	if err := cluster.Heal(); err != nil {
+		fmt.Fprintln(os.Stderr, "FATAL:", err)
+		os.Exit(1)
+	}
 	for i := 0; i < 8; i++ {
 		incr("while replica 0 catches up")
 	}
@@ -89,7 +98,7 @@ func main() {
 		cluster.Replica(0).LastExecuted(), cluster.Replica(1).LastExecuted())
 
 	step("proactively recovering replica 2 (BFT-PR, §4.3)")
-	cluster.Replica(2).Recover()
+	cluster.Recover(2)
 	for cluster.Replica(2).Recovering() {
 		time.Sleep(50 * time.Millisecond)
 	}

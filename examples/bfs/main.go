@@ -1,7 +1,8 @@
 // BFS example: a Byzantine-fault-tolerant file system (Chapter 6) — create
-// a directory tree, write and read files, rename, and list, all through the
-// replicated state machine. One replica lies in every reply and is masked
-// by the client's reply certificates.
+// a directory tree, write and read files, rename, and list, all through
+// the replicated state machine via the public bft and bft/fs packages. One
+// replica lies in every reply and is masked by the client's reply
+// certificates.
 package main
 
 import (
@@ -9,25 +10,21 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/bfs"
-	"repro/internal/message"
-	"repro/internal/pbft"
+	"repro/bft"
+	"repro/bft/fs"
 )
 
 func main() {
-	cfg := pbft.Config{
-		Mode:              pbft.ModeMAC,
-		Opt:               pbft.DefaultOptions(),
-		StateSize:         bfs.MinRegionSize(4096),
-		ViewChangeTimeout: 500 * time.Millisecond,
-	}
 	// Replica 3 corrupts every reply it sends; f=1 masks it.
-	cluster := pbft.NewLocalCluster(4, cfg, bfs.Factory,
-		map[message.NodeID]pbft.Behavior{3: pbft.WrongResult})
+	cluster := bft.NewCluster(bft.Options{
+		Replicas:          4,
+		StateSize:         fs.MinRegionSize(4096),
+		ViewChangeTimeout: 500 * time.Millisecond,
+	}, fs.Factory, bft.WithBehavior(3, bft.WrongResult))
 	cluster.Start()
 	defer cluster.Stop()
 
-	fc := bfs.NewClient(cluster.NewClient())
+	fc := fs.NewClient(cluster.NewClient())
 
 	must := func(err error) {
 		if err != nil {
@@ -64,7 +61,7 @@ func main() {
 	for _, e := range ents {
 		a, err := fc.GetAttr(e.Ino)
 		must(err)
-		kind := map[uint8]string{bfs.TypeFile: "file", bfs.TypeDir: "dir", bfs.TypeSymlink: "link"}[a.Type]
+		kind := map[uint8]string{fs.TypeFile: "file", fs.TypeDir: "dir", fs.TypeSymlink: "link"}[a.Type]
 		fmt.Printf("  %-12s %-4s %4d bytes\n", e.Name, kind, a.Size)
 	}
 

@@ -1,41 +1,62 @@
 // Quickstart: replicate a counter service over 4 replicas with the public
-// bft API, invoke operations, and read back with the single-round-trip
-// read-only optimization.
+// bft API, invoke operations with a context, and read back with the
+// single-round-trip read-only optimization — no internal packages, just
+// repro/bft and the public demo service repro/bft/kv.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/bft"
-	"repro/internal/kvservice"
+	"repro/bft/kv"
 )
 
 func main() {
 	// 4 replicas tolerate 1 Byzantine fault. Each replica runs its own
 	// instance of the service, built by the factory over the
 	// library-managed memory region.
-	cluster := bft.NewCluster(bft.Options{Replicas: 4}, kvservice.Factory)
+	cluster := bft.NewCluster(bft.Options{Replicas: 4}, kv.Factory)
 	cluster.Start()
 	defer cluster.Stop()
 
 	client := cluster.NewClient()
+	ctx := context.Background()
 
 	// Read-write operations go through the three-phase protocol.
 	for i := 0; i < 5; i++ {
-		res, err := client.Invoke(kvservice.Incr(), false)
+		res, err := client.Invoke(ctx, kv.Incr())
 		if err != nil {
 			log.Fatalf("invoke: %v", err)
 		}
-		fmt.Printf("incr -> %d\n", kvservice.DecodeU64(res))
+		fmt.Printf("incr -> %d\n", kv.DecodeU64(res))
 	}
 
 	// Read-only operations take a single round trip (§5.1.3).
-	res, err := client.Invoke(kvservice.Get(), true)
+	res, err := client.Invoke(ctx, kv.Get(), bft.ReadOnly)
 	if err != nil {
 		log.Fatalf("read-only invoke: %v", err)
 	}
-	fmt.Printf("read-only get -> %d\n", kvservice.DecodeU64(res))
+	fmt.Printf("read-only get -> %d\n", kv.DecodeU64(res))
+
+	// A ClientPool fans concurrent load across distinct client principals
+	// (the engine admits one in-flight operation per principal).
+	pool := cluster.NewClientPool(4)
+	futures := make([]*bft.Future, 4)
+	for i := range futures {
+		futures[i] = pool.InvokeAsync(ctx, kv.Incr())
+	}
+	for _, f := range futures {
+		if _, err := f.Wait(ctx); err != nil {
+			log.Fatalf("async invoke: %v", err)
+		}
+	}
+	res, err = client.Invoke(ctx, kv.Get(), bft.ReadOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after 4 pooled incrs -> %d\n", kv.DecodeU64(res))
 
 	fmt.Printf("cluster: n=%d, tolerates f=%d Byzantine faults\n",
 		cluster.Replicas(), cluster.FaultTolerance())

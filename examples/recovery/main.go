@@ -1,37 +1,37 @@
 // Proactive-recovery example (BFT-PR, Chapter 4): an attacker corrupts a
-// replica's state behind the library's back; the periodic recovery detects
-// the damage with the partition-tree state check (§5.3.3), refetches the
-// corrupt pages, refreshes session keys, and rejoins — all while the
-// service keeps running.
+// replica's state behind the library's back; recovery detects the damage
+// with the partition-tree state check (§5.3.3), refetches the corrupt
+// pages, refreshes session keys, and rejoins — all while the service keeps
+// running, and all through the public bft surface.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/kvservice"
-	"repro/internal/pbft"
+	"repro/bft"
+	"repro/bft/kv"
 )
 
 func main() {
-	cfg := pbft.Config{
-		Mode:               pbft.ModeMAC,
-		Opt:                pbft.DefaultOptions(),
-		StateSize:          kvservice.MinStateSize,
+	cluster := bft.NewCluster(bft.Options{
+		Replicas:           4,
+		StateSize:          kv.MinStateSize,
 		CheckpointInterval: 8,
 		LogWindow:          16,
-	}
-	cluster := pbft.NewLocalCluster(4, cfg, kvservice.Factory, nil)
+		MaxRetries:         30,
+	}, kv.Factory)
 	cluster.Start()
 	defer cluster.Stop()
 
 	client := cluster.NewClient()
-	client.MaxRetries = 30
+	ctx := context.Background()
 
 	// Build up some state and a stable checkpoint.
 	for i := 0; i < 12; i++ {
-		if _, err := client.Invoke(kvservice.Incr(), false); err != nil {
+		if _, err := client.Invoke(ctx, kv.Incr()); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -43,7 +43,7 @@ func main() {
 	cluster.Replica(2).CorruptStatePage(0)
 
 	fmt.Println("watchdog fires: replica 2 recovers proactively")
-	cluster.Replica(2).Recover()
+	cluster.Recover(2)
 	for cluster.Replica(2).Recovering() {
 		time.Sleep(25 * time.Millisecond)
 	}
@@ -52,12 +52,12 @@ func main() {
 		m.LastRecoveryTime.Round(time.Millisecond), m.PagesFetched, m.StateTransfers)
 
 	// The service never stopped, and replica 2's state is clean again.
-	res, err := client.Invoke(kvservice.Get(), true)
+	res, err := client.Invoke(ctx, kv.Get(), bft.ReadOnly)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("counter reads %d (correct) with replica 2 back in rotation\n",
-		kvservice.DecodeU64(res))
+		kv.DecodeU64(res))
 	if d0, d2 := cluster.Replica(0).StateDigest(), cluster.Replica(2).StateDigest(); d0 == d2 {
 		fmt.Println("replica 2's state digest matches the group again")
 	} else {

@@ -1,44 +1,44 @@
 // View-change example: a silent Byzantine primary is detected by the
 // backups' timers and replaced (§2.3.5, §3.2.4); the client never sees an
-// incorrect result, only a latency blip.
+// incorrect result, only a latency blip. Fault injection goes through the
+// public bft.Behavior surface.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/kvservice"
-	"repro/internal/message"
-	"repro/internal/pbft"
+	"repro/bft"
+	"repro/bft/kv"
 )
 
 func main() {
-	cfg := pbft.Config{
-		Mode:              pbft.ModeMAC,
-		Opt:               pbft.DefaultOptions(),
-		StateSize:         kvservice.MinStateSize,
-		ViewChangeTimeout: 250 * time.Millisecond,
-	}
 	// Replica 0 is the primary of view 0 — and it never orders a request.
-	cluster := pbft.NewLocalCluster(4, cfg, kvservice.Factory,
-		map[message.NodeID]pbft.Behavior{0: pbft.SilentPrimary})
+	cluster := bft.NewCluster(bft.Options{
+		Replicas:          4,
+		StateSize:         kv.MinStateSize,
+		ViewChangeTimeout: 250 * time.Millisecond,
+		MaxRetries:        30,
+	}, kv.Factory, bft.WithBehavior(0, bft.SilentPrimary))
 	cluster.Start()
 	defer cluster.Stop()
 
 	client := cluster.NewClient()
-	client.MaxRetries = 30
+	ctx := context.Background()
 
 	fmt.Println("replica 0 (primary of view 0) silently drops every request...")
 	start := time.Now()
-	res, err := client.Invoke(kvservice.Incr(), false)
+	res, err := client.Invoke(ctx, kv.Incr())
 	if err != nil {
 		log.Fatalf("invoke: %v", err)
 	}
 	fmt.Printf("first op completed anyway in %v: counter=%d\n",
-		time.Since(start).Round(time.Millisecond), kvservice.DecodeU64(res))
+		time.Since(start).Round(time.Millisecond), kv.DecodeU64(res))
 
-	for i, r := range cluster.Replicas {
+	for i := 0; i < cluster.Replicas(); i++ {
+		r := cluster.Replica(i)
 		m := r.Metrics()
 		fmt.Printf("replica %d: view=%d viewChanges=%d newViews=%d\n",
 			i, r.View(), m.ViewChanges, m.NewViewsProcessed)
@@ -47,7 +47,7 @@ func main() {
 	fmt.Println("subsequent operations run at normal speed under the new primary:")
 	start = time.Now()
 	for i := 0; i < 5; i++ {
-		if _, err := client.Invoke(kvservice.Incr(), false); err != nil {
+		if _, err := client.Invoke(ctx, kv.Incr()); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -188,6 +189,17 @@ func (c *Client) onRaw(p []byte) {
 // Invoke executes one operation (readOnly is accepted for interface parity;
 // the baseline treats everything identically).
 func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
+	return c.InvokeContext(context.Background(), op, readOnly)
+}
+
+// InvokeContext executes one operation with cancellation, satisfying the
+// same context-aware invocation contract as the BFT clients (bfs.Invoker):
+// the retry loop stops retransmitting and returns ctx.Err() promptly when
+// the caller cancels.
+func (c *Client) InvokeContext(ctx context.Context, op []byte, readOnly bool) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	c.timestamp++
 	ts := c.timestamp
@@ -213,13 +225,18 @@ func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
 	raw := req.Marshal()
 
 	timeout := c.RetryTimeout
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		c.trans.Send(ServerID, raw)
 		select {
 		case res := <-ch:
 			return res, nil
-		case <-time.After(timeout):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timer.C:
 			timeout *= 2
+			timer.Reset(timeout)
 		}
 	}
 	return nil, errors.New("baseline: request timed out")

@@ -2,6 +2,7 @@ package bfs
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ type directInvoker struct {
 	clock int64
 }
 
-func (d *directInvoker) Invoke(op []byte, ro bool) ([]byte, error) {
+func (d *directInvoker) InvokeContext(_ context.Context, op []byte, ro bool) ([]byte, error) {
 	d.clock++
 	nondet := d.s.ProposeNonDet()
 	return d.s.Execute(message.ClientIDBase, op, nondet), nil

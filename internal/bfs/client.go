@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -8,10 +9,12 @@ import (
 )
 
 // Invoker is the replication-agnostic execution interface: the BFT client
-// and the unreplicated baseline both satisfy it, so the same BFS client
-// drives the paper's BFS and NO-REP configurations (§8.6).
+// (engine-level and public bft.Client alike) and the unreplicated baseline
+// all satisfy it, so the same BFS client drives the paper's BFS and NO-REP
+// configurations (§8.6). The context form is the library-wide invocation
+// contract; the BFS client itself passes context.Background().
 type Invoker interface {
-	Invoke(op []byte, readOnly bool) ([]byte, error)
+	InvokeContext(ctx context.Context, op []byte, readOnly bool) ([]byte, error)
 }
 
 // Client is the typed BFS client, the analogue of the thesis's NFS relay:
@@ -34,7 +37,7 @@ func (c *Client) call(op []byte, ro bool) ([]byte, error) {
 	if c.Strict {
 		ro = false
 	}
-	res, err := c.inv.Invoke(op, ro)
+	res, err := c.inv.InvokeContext(context.Background(), op, ro)
 	if err != nil {
 		return nil, err
 	}

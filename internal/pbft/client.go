@@ -1,6 +1,7 @@
 package pbft
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -151,6 +152,19 @@ func (c *Client) f() int { return (c.dir.N() - 1) / 3 }
 // result (§6.2's Byz_invoke). readOnly requests use the single-round-trip
 // optimization when the library has it enabled.
 func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
+	return c.InvokeContext(context.Background(), op, readOnly)
+}
+
+// InvokeContext is Invoke with cancellation: the retry loop checks ctx
+// between transmissions and while waiting for a reply certificate, so an
+// in-flight invocation returns promptly with ctx.Err() when the caller
+// cancels or a deadline passes. The client stays usable afterwards — the
+// abandoned timestamp is simply never reused, and any certificate that
+// completes late is discarded like any other stale reply.
+func (c *Client) InvokeContext(ctx context.Context, op []byte, readOnly bool) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -201,6 +215,8 @@ func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
 
 	timeout := c.RetryTimeout
 	maxBackoff := 8 * c.RetryTimeout // cap the exponential backoff (§5.2)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		select {
 		case res := <-p.done:
@@ -208,7 +224,12 @@ func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
 			c.pending = nil
 			c.mu.Unlock()
 			return res, nil
-		case <-time.After(timeout):
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.pending = nil
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		case <-timer.C:
 		}
 		// Retransmit to all replicas; ask everyone for the full result and
 		// demote read-only to read-write (§5.1.3, §5.2).
@@ -231,6 +252,7 @@ func (c *Client) Invoke(op []byte, readOnly bool) ([]byte, error) {
 		if timeout > maxBackoff {
 			timeout = maxBackoff
 		}
+		timer.Reset(timeout)
 	}
 	c.mu.Lock()
 	c.pending = nil

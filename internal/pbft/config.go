@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/crypto"
 	"repro/internal/message"
 )
 
@@ -125,6 +126,24 @@ func DefaultOptions() Options {
 		EgressPipeline:   multicore,
 		ExecPipeline:     multicore,
 	}
+}
+
+// WithoutOptimizations returns a copy of o with every Chapter 5 protocol
+// optimization disabled — digest replies, tentative execution, read-only
+// operations, batching, and separate request transmission — while leaving
+// the engine stages (ingress/egress/executor pipelines, the state-transfer
+// fetch window) untouched. The pipelines are implementation plumbing, not
+// paper optimizations: a measurement run that wants the unoptimized
+// PROTOCOL must still run the engine at full speed, or the ablation
+// conflates the two. (Setting Opt = Options{} by hand silently turned the
+// pipelines off too; use this instead.)
+func (o Options) WithoutOptimizations() Options {
+	o.DigestReplies = false
+	o.TentativeExec = false
+	o.ReadOnly = false
+	o.Batching = false
+	o.SeparateRequests = false
+	return o
 }
 
 // Behavior selects a fault-injection personality for a replica.
@@ -271,6 +290,27 @@ type Directory struct {
 // NewDirectory creates a directory for n replicas.
 func NewDirectory(n int) *Directory {
 	return &Directory{n: n, keys: make(map[message.NodeID]ed25519.PublicKey)}
+}
+
+// OfflineDirectory builds a directory pre-populated with the deterministic
+// identity keys of the offline trusted setup: the public keys of replicas
+// 0..n-1 and of the first clients client principals (ClientIDBase upward).
+// Every principal derives the same directory independently, so per-node
+// construction works across processes with no runtime key exchange —
+// exactly the paper's assumption that keys are distributed offline (§2.1,
+// §4.2's read-only memory).
+func OfflineDirectory(n, clients int) *Directory {
+	dir := NewDirectory(n)
+	for i := 0; i < n; i++ {
+		kp := crypto.GenerateKeyPair(crypto.DeriveKey("replica-identity", uint64(i)))
+		dir.Register(message.NodeID(i), kp.Public)
+	}
+	for c := 0; c < clients; c++ {
+		id := message.ClientIDBase + message.NodeID(c)
+		kp := crypto.GenerateKeyPair(crypto.DeriveKey("client-identity", uint64(id)))
+		dir.Register(id, kp.Public)
+	}
+	return dir
 }
 
 // N returns the replica group size.

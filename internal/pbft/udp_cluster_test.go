@@ -13,7 +13,7 @@ import (
 )
 
 func TestClusterOverRealUDP(t *testing.T) {
-	book, err := udpnet.LocalBook(4, 39200, 2)
+	book, err := udpnet.LoopbackBook(4, 2)
 	if err != nil {
 		t.Skipf("cannot bind loopback ports: %v", err)
 	}

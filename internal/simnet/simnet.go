@@ -11,6 +11,7 @@ package simnet
 
 import (
 	"container/heap"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -160,6 +161,10 @@ func (n *Network) Close() {
 
 // Attach registers an endpoint and starts a dispatch goroutine invoking h
 // serially for each delivered datagram. It implements transport.Network.
+// Attaching a principal that is already attached panics, like a UDP bind
+// on a port in use — silently replacing the endpoint would wedge the
+// first attachment with no diagnosis (its traffic would route to the
+// newer one). Re-attach after Close is fine.
 func (n *Network) Attach(id message.NodeID, h transport.Handler) transport.Transport {
 	ep := &endpoint{
 		id:    id,
@@ -168,6 +173,10 @@ func (n *Network) Attach(id message.NodeID, h transport.Handler) transport.Trans
 		stop:  make(chan struct{}),
 	}
 	n.mu.Lock()
+	if _, live := n.endpoints[id]; live {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("simnet: principal %d attached twice", id))
+	}
 	n.endpoints[id] = ep
 	n.mu.Unlock()
 	go func() {
@@ -181,6 +190,15 @@ func (n *Network) Attach(id message.NodeID, h transport.Handler) transport.Trans
 		}
 	}()
 	return ep
+}
+
+// SetDefaults replaces the default link model at runtime (links with a
+// SetLink override keep it). In-flight datagrams already scheduled under
+// the old model are unaffected.
+func (n *Network) SetDefaults(cfg LinkConfig) {
+	n.mu.Lock()
+	n.defaults = cfg
+	n.mu.Unlock()
 }
 
 // SetLink overrides the model for the directed link src->dst.

@@ -49,6 +49,39 @@ func LocalBook(n int, basePort int, clients int) (*AddressBook, error) {
 	return b, nil
 }
 
+// LoopbackBook maps replicas 0..n-1 and clients 0..clients-1 (from
+// message.ClientIDBase) to kernel-chosen free ports on 127.0.0.1: each
+// port is reserved with a probe bind, recorded, and released. The window
+// between release and the principal's real bind is tiny, and a lost race
+// surfaces as a bind error at Attach, never as silent misrouting.
+func LoopbackBook(n, clients int) (*AddressBook, error) {
+	b := NewAddressBook()
+	ids := make([]message.NodeID, 0, n+clients)
+	for i := 0; i < n; i++ {
+		ids = append(ids, message.NodeID(i))
+	}
+	for c := 0; c < clients; c++ {
+		ids = append(ids, message.ClientIDBase+message.NodeID(c))
+	}
+	conns := make([]*net.UDPConn, 0, len(ids))
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for _, id := range ids {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, fmt.Errorf("udpnet: reserve loopback port: %w", err)
+		}
+		conns = append(conns, conn)
+		if err := b.Set(id, conn.LocalAddr().String()); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
 // Set registers a principal's address.
 func (b *AddressBook) Set(id message.NodeID, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
