@@ -54,6 +54,7 @@ func BenchmarkE10Model(b *testing.B)        { runExperiment(b, experiments.E10Mo
 func BenchmarkE11AuthCrossover(b *testing.B) {
 	runExperiment(b, experiments.E11AuthCrossover)
 }
+func BenchmarkE12Batching(b *testing.B) { runExperiment(b, experiments.E12Batching) }
 
 // ---------------------------------------------------------------------------
 // Conventional per-operation micro benchmarks (ns/op comparable across
@@ -199,6 +200,24 @@ func BenchmarkThroughput00InlineExec(b *testing.B) {
 
 func BenchmarkThroughput00StagedExec(b *testing.B) {
 	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.ExecPipeline = true })
+}
+
+// BenchmarkThroughput00Batch1 / Batch16Fixed / BatchAdaptive pin the
+// primary's proposal policy (§5.1.4): serial issues one pre-prepare per
+// request, fixed drains up to BatchRequests per proposal, adaptive tracks
+// the AIMD fill target (the default). Interleaved with the pipeline rows
+// above, the ops/s metrics separate batching's contribution from the
+// stage pipelines'.
+func BenchmarkThroughput00Batch1(b *testing.B) {
+	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.Batching = false })
+}
+
+func BenchmarkThroughput00Batch16Fixed(b *testing.B) {
+	benchThroughputOpt(b, func(cfg *pbft.Config) { cfg.Opt.AdaptiveBatch = false })
+}
+
+func BenchmarkThroughput00BatchAdaptive(b *testing.B) {
+	benchThroughputOpt(b, func(cfg *pbft.Config) {})
 }
 
 func benchThroughputOpt(b *testing.B, mut func(*pbft.Config)) {

@@ -134,6 +134,30 @@ type Options struct {
 	// pipeline stages (ingress/egress/executor) are NOT optimizations and
 	// stay on — they are how the replica runs, not what the paper ablates.
 	DisableOptimizations bool
+	// Batching knobs (§5.1.4; see README "Batching & pipelining"). The
+	// primary drains its request queue into batches capped three ways:
+	// BatchRequests bounds requests per batch (default 16), BatchBytes
+	// bounds total operation bytes per batch (default 64 KiB; one request
+	// larger than the cap still proposes, alone), and BatchWait is the
+	// accumulate micro-deadline (default 1ms; negative disables it) — with
+	// agreement already in flight, a sub-target batch is held open this
+	// long so later arrivals can share the sequence number. The deadline
+	// never delays a request when nothing is in flight, so latency at low
+	// load is unchanged.
+	BatchRequests int
+	BatchBytes    int
+	BatchWait     time.Duration
+	// AgreementWindow is W, the number of batches allowed between the
+	// execution frontier and the newest pre-prepare (§5.1.4 pipelining).
+	// Default 8; must not exceed the effective LogWindow.
+	AgreementWindow int
+	// DisableBatching turns off §5.1.4 batching alone (one request per
+	// pre-prepare), leaving the other optimizations on — the ablation's
+	// serial baseline. FixedBatching keeps batching on but disables the
+	// adaptive fill target, so every batch tries to fill to BatchRequests
+	// (the thesis's fixed-cap behavior).
+	DisableBatching bool
+	FixedBatching   bool
 	// FetchWindow bounds parallel state-transfer partition fetches in
 	// flight (§6.2.2). Default 8; 1 reproduces the serial fetch engine.
 	FetchWindow int
@@ -178,9 +202,22 @@ func (o Options) Validate() error {
 	if o.LogWindow != 0 && o.LogWindow < k {
 		return fmt.Errorf("bft: LogWindow=%d < CheckpointInterval=%d; the water-mark window must cover at least one checkpoint interval", o.LogWindow, k)
 	}
+	// The agreement window is measured in batches but bounded by the
+	// water-mark window in sequence numbers: pre-prepares beyond L are
+	// refused, so W > L could never be honored.
+	l := o.LogWindow
+	if l == 0 {
+		l = 2 * k
+	}
+	if o.AgreementWindow > 0 && uint64(o.AgreementWindow) > l {
+		return fmt.Errorf("bft: AgreementWindow=%d > LogWindow=%d; the agreement window cannot exceed the water-mark window", o.AgreementWindow, l)
+	}
 	for name, v := range map[string]int{
 		"StateSize":       o.StateSize,
 		"PageSize":        o.PageSize,
+		"BatchRequests":   o.BatchRequests,
+		"BatchBytes":      o.BatchBytes,
+		"AgreementWindow": o.AgreementWindow,
 		"FetchWindow":     o.FetchWindow,
 		"PipelineWorkers": o.PipelineWorkers,
 		"EgressWorkers":   o.EgressWorkers,
@@ -192,6 +229,7 @@ func (o Options) Validate() error {
 			return fmt.Errorf("bft: %s must not be negative", name)
 		}
 	}
+	// BatchWait may be negative — that disables the accumulate deadline.
 	if o.RetryTimeout < 0 || o.ViewChangeTimeout < 0 || o.ProactiveRecovery < 0 {
 		return fmt.Errorf("bft: durations must not be negative")
 	}
@@ -223,6 +261,24 @@ func (o Options) engineConfig() pbft.Config {
 	opt := pbft.DefaultOptions()
 	if o.DisableOptimizations {
 		opt = opt.WithoutOptimizations()
+	}
+	if o.BatchRequests > 0 {
+		opt.BatchRequests = o.BatchRequests
+	}
+	if o.BatchBytes > 0 {
+		opt.BatchBytes = o.BatchBytes
+	}
+	if o.BatchWait != 0 {
+		opt.BatchWait = o.BatchWait
+	}
+	if o.AgreementWindow > 0 {
+		opt.AgreementWindow = o.AgreementWindow
+	}
+	if o.DisableBatching {
+		opt.Batching = false
+	}
+	if o.FixedBatching {
+		opt.AdaptiveBatch = false
 	}
 	if o.FetchWindow > 0 {
 		opt.FetchWindow = o.FetchWindow

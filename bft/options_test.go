@@ -49,6 +49,10 @@ func TestOptionsKnobsReachEngine(t *testing.T) {
 		PageSize:           512,
 		ViewChangeTimeout:  123 * time.Millisecond,
 		Seed:               42,
+		BatchRequests:      24,
+		BatchBytes:         1 << 14,
+		BatchWait:          700 * time.Microsecond,
+		AgreementWindow:    12,
 	})
 	if cfg.N != 7 {
 		t.Fatalf("N=%d", cfg.N)
@@ -68,8 +72,28 @@ func TestOptionsKnobsReachEngine(t *testing.T) {
 	if cfg.ViewChangeTimeout != 123*time.Millisecond || cfg.Seed != 42 {
 		t.Fatalf("timing knobs: vc=%v seed=%d", cfg.ViewChangeTimeout, cfg.Seed)
 	}
+	if cfg.Opt.BatchRequests != 24 || cfg.Opt.BatchBytes != 1<<14 ||
+		cfg.Opt.BatchWait != 700*time.Microsecond || cfg.Opt.AgreementWindow != 12 {
+		t.Fatalf("batching knobs: %+v", cfg.Opt)
+	}
 	if got := EngineConfig(Options{Behavior: WrongResult}).Behavior; got != WrongResult {
 		t.Fatalf("Behavior lowering lost: %v", got)
+	}
+	if cfg := EngineConfig(Options{DisableBatching: true}); cfg.Opt.Batching {
+		t.Fatal("DisableBatching did not reach the engine")
+	}
+	if cfg := EngineConfig(Options{FixedBatching: true}); cfg.Opt.AdaptiveBatch || !cfg.Opt.Batching {
+		t.Fatalf("FixedBatching lowering: adaptive=%v batching=%v",
+			cfg.Opt.AdaptiveBatch, cfg.Opt.Batching)
+	}
+	if cfg := EngineConfig(Options{BatchWait: -time.Nanosecond}); cfg.Opt.BatchWait >= 0 {
+		t.Fatalf("negative BatchWait (timer disabled) lost: %v", cfg.Opt.BatchWait)
+	}
+	// Defaults: batching on, adaptive on, thesis cap 16, window 8.
+	def := EngineConfig(Options{})
+	if !def.Opt.Batching || !def.Opt.AdaptiveBatch || def.Opt.BatchRequests != 16 ||
+		def.Opt.AgreementWindow != 8 {
+		t.Fatalf("batching defaults: %+v", def.Opt)
 	}
 }
 
@@ -87,6 +111,12 @@ func TestOptionsValidate(t *testing.T) {
 		{"window at defaulted K", Options{LogWindow: 128}, ""},
 		{"negative knob", Options{InboxCap: -1}, "negative"},
 		{"negative duration", Options{RetryTimeout: -time.Second}, "negative"},
+		{"negative batch cap", Options{BatchRequests: -1}, "negative"},
+		{"negative byte cap", Options{BatchBytes: -1}, "negative"},
+		{"negative BatchWait allowed", Options{BatchWait: -time.Millisecond}, ""},
+		{"agreement window over L", Options{AgreementWindow: 300}, "water-mark"},
+		{"agreement window over explicit L", Options{CheckpointInterval: 64, LogWindow: 64, AgreementWindow: 65}, "water-mark"},
+		{"agreement window at L", Options{AgreementWindow: 256}, ""},
 	}
 	for _, c := range cases {
 		err := c.o.Validate()

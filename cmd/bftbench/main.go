@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +22,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (E1..E11) or 'all'")
-		scale = flag.Int("scale", 1, "work multiplier (>=1)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+		scale   = flag.Int("scale", 1, "work multiplier (>=1)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.String("json", "", "write the machine-readable report of a JSON-capable experiment (E12) to this path")
 	)
 	flag.Parse()
 
@@ -53,8 +55,25 @@ func main() {
 	for _, s := range specs {
 		fmt.Printf("--- %s: %s (reproduces %s) ---\n", s.ID, s.What, s.Paper)
 		start := time.Now()
-		for _, t := range s.Run(*scale) {
+		if *jsonOut != "" && strings.EqualFold(s.ID, "E12") {
+			// E12 doubles as the batching perf-trajectory recorder: print the
+			// table and persist the machine-readable report.
+			t, rep := experiments.E12BatchingReport(*scale)
 			fmt.Println(t.String())
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marshal report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		} else {
+			for _, t := range s.Run(*scale) {
+				fmt.Println(t.String())
+			}
 		}
 		fmt.Printf("(%s took %v)\n\n", s.ID, time.Since(start).Round(time.Millisecond))
 	}

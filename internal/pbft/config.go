@@ -56,12 +56,36 @@ type Options struct {
 	// Batching: assign one sequence number to a batch of requests under
 	// load (§5.1.4).
 	Batching bool
-	// MaxBatch bounds requests per batch (the implementation's 16-digest
-	// limit).
-	MaxBatch int
-	// Window bounds protocol instances running in parallel (the
-	// sliding-window of §5.1.4).
-	Window int
+	// BatchRequests bounds requests per batch (the thesis implementation's
+	// 16-digest limit). It is the hard count cap; the adaptive policy picks
+	// an effective fill target at or below it.
+	BatchRequests int
+	// BatchBytes bounds the total operation bytes one batch may carry. A
+	// single request larger than the cap still proposes — alone. Zero means
+	// the default of 64 KiB.
+	BatchBytes int
+	// BatchWait is the accumulate micro-deadline: with agreement already in
+	// flight, the primary holds a sub-target batch open for up to this long
+	// so later arrivals can ride the same sequence number. The timer arms
+	// only when the queue is non-empty, the agreement window has room, AND
+	// at least one batch is in flight — with nothing in flight a request
+	// proposes immediately, so latency at low load is unchanged. Zero means
+	// the default of 1ms; negative disables the timer (sub-target batches
+	// then propose immediately, the pre-adaptive behavior).
+	BatchWait time.Duration
+	// AdaptiveBatch auto-tunes the effective batch fill target from
+	// observed queue depth: the target tracks ceil(queued / W) — drain the
+	// backlog in at most one agreement window of batches — with additive
+	// increase and multiplicative decrease, clamped to [1, BatchRequests].
+	// Light load gets per-request latency, heavy load gets amortized
+	// agreement, with no operator tuning. Off: batches always try to fill
+	// to BatchRequests.
+	AdaptiveBatch bool
+	// AgreementWindow bounds protocol instances running in parallel — the
+	// number of batches between the execution frontier and the newest
+	// pre-prepare (the sliding-window W of §5.1.4). Must not exceed the
+	// water-mark window L.
+	AgreementWindow int
 	// SeparateRequests: requests larger than InlineThreshold travel
 	// directly from client to all replicas and only their digests ride in
 	// pre-prepares (§5.1.5).
@@ -117,8 +141,11 @@ func DefaultOptions() Options {
 		TentativeExec:    true,
 		ReadOnly:         true,
 		Batching:         true,
-		MaxBatch:         16,
-		Window:           8,
+		BatchRequests:    16,
+		BatchBytes:       64 << 10,
+		BatchWait:        time.Millisecond,
+		AdaptiveBatch:    true,
+		AgreementWindow:  8,
 		SeparateRequests: true,
 		InlineThreshold:  255,
 		FetchWindow:      8,
@@ -257,11 +284,22 @@ func (c *Config) Validate() {
 	if c.Fanout == 0 {
 		c.Fanout = 16
 	}
-	if c.Opt.MaxBatch == 0 {
-		c.Opt.MaxBatch = 16
+	if c.Opt.BatchRequests == 0 {
+		c.Opt.BatchRequests = 16
 	}
-	if c.Opt.Window == 0 {
-		c.Opt.Window = 8
+	if c.Opt.BatchBytes == 0 {
+		c.Opt.BatchBytes = 64 << 10
+	}
+	if c.Opt.BatchWait == 0 {
+		c.Opt.BatchWait = time.Millisecond
+	}
+	if c.Opt.AgreementWindow == 0 {
+		c.Opt.AgreementWindow = 8
+	}
+	// The agreement window cannot usefully exceed the water-mark window:
+	// pre-prepares beyond L are refused anyway, so clamp rather than wedge.
+	if w := message.Seq(c.Opt.AgreementWindow); w > c.LogWindow {
+		c.Opt.AgreementWindow = int(c.LogWindow)
 	}
 	if c.Opt.InlineThreshold == 0 {
 		c.Opt.InlineThreshold = 255

@@ -53,7 +53,7 @@ func (r *Replica) onRequest(req *message.Request) {
 	d := req.Digest()
 	isNew := !r.log.HasRequest(d)
 	r.log.StoreRequest(req)
-	r.enqueueRequest(client, d)
+	r.enqueueRequest(req)
 
 	if req.Recovery() {
 		r.noteRecoveryRequest(req)
@@ -77,34 +77,16 @@ func (r *Replica) onRequest(req *message.Request) {
 }
 
 // enqueueRequest keeps a FIFO queue with only the newest request per client
-// (§5.5 fairness).
-func (r *Replica) enqueueRequest(client message.NodeID, d crypto.Digest) {
-	if old, ok := r.queuedByCli[client]; ok {
-		if old == d {
-			return
-		}
-		for i, q := range r.queue {
-			if q == old {
-				r.queue = append(r.queue[:i], r.queue[i+1:]...)
-				break
-			}
-		}
-	}
-	r.queuedByCli[client] = d
-	r.queue = append(r.queue, d)
+// (§5.5 fairness). The queue is an intrusive list indexed by client, so both
+// this and dequeueExecuted are O(1) regardless of how many clients are
+// backed up behind the primary.
+func (r *Replica) enqueueRequest(req *message.Request) {
+	r.queue.Push(req.Client, req.Digest(), len(req.Op))
 }
 
 // dequeueExecuted removes a request from the queue once it executes.
 func (r *Replica) dequeueExecuted(client message.NodeID, d crypto.Digest) {
-	if old, ok := r.queuedByCli[client]; ok && old == d {
-		delete(r.queuedByCli, client)
-		for i, q := range r.queue {
-			if q == d {
-				r.queue = append(r.queue[:i], r.queue[i+1:]...)
-				break
-			}
-		}
-	}
+	r.queue.Remove(client, d)
 }
 
 func (r *Replica) resendCachedReply(client message.NodeID) {
@@ -121,44 +103,159 @@ func (r *Replica) resendCachedReply(client message.NodeID) {
 // Primary: batching and pre-prepare issue (§5.1.4, §5.1.5)
 // ---------------------------------------------------------------------------
 
+// tryIssuePrePrepares drains the request queue into pre-prepares. It re-fires
+// on every event that can create room or work: request arrival, execution
+// progress (executeForward), and checkpoint stability (makeStable), keeping
+// up to AgreementWindow batches in flight under load.
 func (r *Replica) tryIssuePrePrepares() {
+	r.issueReady(false)
+}
+
+// issueReady is the proposal loop. deadline is true when called from the
+// BatchWait timer: the accumulate window expired, so flush one partial batch
+// even if it is below the fill target. Batches are capped three ways
+// (§5.1.4): by count (the adaptive fill target, ≤ BatchRequests), by bytes
+// (BatchBytes), and by time (BatchWait — armed only while another batch is
+// in flight, so an idle system proposes immediately and low-load latency is
+// unchanged).
+func (r *Replica) issueReady(deadline bool) {
 	if r.cfg.Behavior == SilentPrimary {
 		return
 	}
 	if !r.isPrimary() || !r.active || r.vc.pending {
+		r.disarmBatchWait()
 		return
 	}
-	for len(r.queue) > 0 {
+	for r.queue.Len() > 0 {
 		// Sliding window: o - e < W (§5.1.4).
-		if r.seqno >= r.lastExec+message.Seq(r.cfg.Opt.Window) {
+		if r.seqno >= r.lastExec+message.Seq(r.cfg.Opt.AgreementWindow) ||
+			r.seqno >= r.log.High() {
+			// No agreement (or water-mark) room: the queue waits for
+			// commit/execute progress to re-fire the loop; holding the
+			// accumulate timer armed would only burn a spurious flush.
+			r.disarmBatchWait()
 			return
 		}
-		if r.seqno >= r.log.High() {
-			return // water marks full; wait for a stable checkpoint
+		target := r.fillTarget()
+		if !deadline && r.shouldAccumulate(target) {
+			r.armBatchWait()
+			return
 		}
-		batch := r.takeBatch()
+		deadline = false // an expired deadline flushes at most one partial batch
+		batch, size := r.takeBatch(target)
 		if len(batch) == 0 {
-			return
+			break
 		}
+		r.metrics.BatchesProposed++
+		r.metrics.RequestsProposed += uint64(len(batch))
+		r.metrics.BatchBytesTotal += uint64(size)
 		r.issueBatch(batch)
+	}
+	r.disarmBatchWait()
+}
+
+// fillTarget returns the batch-size target for the next proposal: 1 with
+// batching off, the hard cap BatchRequests with adaptive mode off. In
+// adaptive mode it AIMD-tracks the size needed to drain the current queue in
+// at most AgreementWindow batches — light load converges to 1 (latency),
+// heavy load grows toward BatchRequests (throughput) — clamped to [1,
+// BatchRequests].
+func (r *Replica) fillTarget() int {
+	if !r.cfg.Opt.Batching {
+		return 1
+	}
+	max := r.cfg.Opt.BatchRequests
+	if !r.cfg.Opt.AdaptiveBatch {
+		return max
+	}
+	w := r.cfg.Opt.AgreementWindow
+	desired := (r.queue.Len() + w - 1) / w
+	switch {
+	case desired > r.batchTarget:
+		r.batchTarget++ // additive increase under growing backlog
+	case desired < r.batchTarget:
+		r.batchTarget /= 2 // multiplicative decrease as the queue drains
+	}
+	if r.batchTarget < 1 {
+		r.batchTarget = 1
+	}
+	if r.batchTarget > max {
+		r.batchTarget = max
+	}
+	return r.batchTarget
+}
+
+// shouldAccumulate reports whether the proposal loop should hold the queued
+// requests for up to BatchWait hoping to fill the batch further. Never when
+// nothing is in flight (the first request after idle must not eat the wait),
+// and never once the queue already meets the fill target or the byte cap.
+func (r *Replica) shouldAccumulate(target int) bool {
+	if !r.cfg.Opt.Batching || r.cfg.Opt.BatchWait <= 0 {
+		return false
+	}
+	if r.seqno <= r.lastExec {
+		return false // idle pipeline: propose immediately
+	}
+	if r.queue.Len() >= target {
+		return false
+	}
+	if bb := r.cfg.Opt.BatchBytes; bb > 0 && r.queue.Bytes() >= bb {
+		return false
+	}
+	return true
+}
+
+// armBatchWait starts the accumulate deadline if not already running.
+func (r *Replica) armBatchWait() {
+	if !r.batchDeadline.IsZero() {
+		return
+	}
+	r.batchDeadline = time.Now().Add(r.cfg.Opt.BatchWait)
+	if r.batchTimer != nil {
+		r.batchTimer.Reset(r.cfg.Opt.BatchWait)
 	}
 }
 
-// takeBatch pops up to MaxBatch requests off the queue (1 if batching off).
-func (r *Replica) takeBatch() []*message.Request {
-	maxN := 1
-	if r.cfg.Opt.Batching {
-		maxN = r.cfg.Opt.MaxBatch
+// disarmBatchWait cancels the accumulate deadline.
+func (r *Replica) disarmBatchWait() {
+	if r.batchDeadline.IsZero() {
+		return
 	}
-	var batch []*message.Request
-	for len(batch) < maxN && len(r.queue) > 0 {
-		d := r.queue[0]
-		r.queue = r.queue[1:]
+	r.batchDeadline = time.Time{}
+	if r.batchTimer != nil {
+		r.batchTimer.Stop()
+	}
+}
+
+// onBatchWait handles the accumulate timer firing: flush the partial batch.
+func (r *Replica) onBatchWait() {
+	if r.batchDeadline.IsZero() {
+		return // stale fire: the batch was already flushed or disarmed
+	}
+	r.batchDeadline = time.Time{}
+	r.metrics.BatchWaitFires++
+	r.issueReady(true)
+}
+
+// takeBatch pops up to target requests off the queue, stopping early rather
+// than pushing a non-empty batch past BatchBytes. A single request larger
+// than BatchBytes is proposed alone — the cap bounds batch assembly, it is
+// not an admission limit.
+func (r *Replica) takeBatch(target int) (batch []*message.Request, size int) {
+	maxBytes := 0
+	if r.cfg.Opt.Batching {
+		maxBytes = r.cfg.Opt.BatchBytes
+	}
+	for len(batch) < target && r.queue.Len() > 0 {
+		if _, _, sz, ok := r.queue.Front(); ok &&
+			maxBytes > 0 && len(batch) > 0 && size+sz > maxBytes {
+			break // byte cap: flush what we have; the next batch takes it
+		}
+		_, d, sz, _ := r.queue.Pop()
 		req, ok := r.log.Request(d)
 		if !ok {
 			continue
 		}
-		delete(r.queuedByCli, req.Client)
 		// Skip anything already executed (duplicate arrivals).
 		if ts, ok := r.lastReplied(req.Client); ok && req.Timestamp <= ts {
 			continue
@@ -169,8 +266,9 @@ func (r *Replica) takeBatch() []*message.Request {
 			continue
 		}
 		batch = append(batch, req)
+		size += sz
 	}
-	return batch
+	return batch, size
 }
 
 // requestAssigned reports whether a request digest already rides in some
@@ -393,7 +491,7 @@ func (r *Replica) fillSlotBody(pp *message.PrePrepare, slot *vlog.Slot) {
 func (r *Replica) acceptBackupPrePrepare(pp *message.PrePrepare, slot *vlog.Slot) {
 	for i := range pp.Inline {
 		r.log.StoreRequest(&pp.Inline[i])
-		r.enqueueRequest(pp.Inline[i].Client, pp.Inline[i].Digest())
+		r.enqueueRequest(&pp.Inline[i])
 	}
 	slot.AddPrePrepare(pp)
 	slot.PrePrepared = true
@@ -882,7 +980,7 @@ func (r *Replica) updateVCTimer() {
 		r.vcTimerDeadline = time.Time{}
 		return
 	}
-	queueWaiting := len(r.queue) > 0
+	queueWaiting := r.queue.Len() > 0
 	tentWaiting := r.lastCommitted < r.lastExec
 	switch {
 	case !queueWaiting && !tentWaiting:

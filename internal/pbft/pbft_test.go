@@ -334,7 +334,12 @@ func TestExactlyOnceUnderRetransmission(t *testing.T) {
 	})
 	cl := c.NewClient()
 	cl.RetryTimeout = 60 * time.Millisecond
-	cl.MaxRetries = 30
+	// Budget retries from the timeout rather than a fixed count: under -race
+	// with CPU contention a 30%-lossy run legitimately burns many rounds,
+	// and a fixed 30 made this test flake. Size MaxRetries so the cumulative
+	// backoff (doubling, capped at 8×RetryTimeout — the client's schedule)
+	// spans ~30 seconds of wall clock per op.
+	cl.MaxRetries = retriesForBudget(cl.RetryTimeout, 30*time.Second)
 	const n = 8
 	for i := 1; i <= n; i++ {
 		res := mustInvoke(t, cl, kvservice.Incr(), false)
@@ -347,6 +352,24 @@ func TestExactlyOnceUnderRetransmission(t *testing.T) {
 	if got := kvservice.DecodeU64(res); got != n {
 		t.Fatalf("counter = %d, want %d", got, n)
 	}
+}
+
+// retriesForBudget returns the retry count whose cumulative exponential
+// backoff (doubling from base, capped at 8×base — the client's §5.2
+// schedule) first covers budget.
+func retriesForBudget(base, budget time.Duration) int {
+	wait, total, n := base, time.Duration(0), 0
+	for total < budget {
+		total += wait
+		n++
+		if wait < 8*base {
+			wait *= 2
+			if wait > 8*base {
+				wait = 8 * base
+			}
+		}
+	}
+	return n
 }
 
 func TestNonDeterminismAgreement(t *testing.T) {
@@ -459,7 +482,7 @@ func TestTentativeExecDisabled(t *testing.T) {
 
 func TestAllOptimizationsDisabled(t *testing.T) {
 	cfg := testConfig()
-	cfg.Opt = Options{MaxBatch: 1, Window: 4, InlineThreshold: 1 << 20}
+	cfg.Opt = Options{BatchRequests: 1, AgreementWindow: 4, InlineThreshold: 1 << 20}
 	c := newTestCluster(t, 4, cfg, nil)
 	cl := c.NewClient()
 	for i := 1; i <= 5; i++ {

@@ -443,8 +443,8 @@ func (r *Replica) recoveryTick(now time.Time) {
 		return
 	}
 	r.rec.nullBatchDeadline = now.Add(10 * time.Millisecond)
-	if r.isPrimary() && r.active && len(r.queue) == 0 && r.seqno < r.log.High() &&
-		r.seqno < r.lastExec+message.Seq(r.cfg.Opt.Window) {
+	if r.isPrimary() && r.active && r.queue.Len() == 0 && r.seqno < r.log.High() &&
+		r.seqno < r.lastExec+message.Seq(r.cfg.Opt.AgreementWindow) {
 		// Issue a null batch: an empty batch whose execution is a no-op but
 		// advances sequence numbers toward the next checkpoint.
 		r.seqno++

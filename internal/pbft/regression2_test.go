@@ -32,7 +32,7 @@ func TestRecoveryDefaultConfig(t *testing.T) {
 				r.do(func() {
 					t.Logf("replica %d: view=%d active=%v pending=%v seqno=%d lastExec=%d lastCommitted=%d low=%d queue=%d recPhase=%d recPoint=%d recovering=%v",
 						i, r.view, r.active, r.vc.pending, r.seqno, r.lastExec, r.lastCommitted,
-						r.log.Low(), len(r.queue), r.rec.phase, r.rec.recoveryPoint, r.rec.recovering)
+						r.log.Low(), r.queue.Len(), r.rec.phase, r.rec.recoveryPoint, r.rec.recovering)
 					for seq := r.log.Low() + 1; seq <= r.log.Low()+8; seq++ {
 						if s, ok := r.log.Peek(seq); ok {
 							t.Logf("  slot %d: view=%d hasD=%v hasPP=%v sentPrep=%v prepCnt=%d prepared=%v sentCommit=%v commitCnt=%d committed=%v exec=%v",

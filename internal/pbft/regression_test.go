@@ -42,7 +42,7 @@ func TestConcurrentClientsNoWedge(t *testing.T) {
 			for i, r := range c.Replicas {
 				r.do(func() {
 					t.Logf("replica %d: view=%d active=%v pending=%v seqno=%d lastExec=%d lastCommitted=%d low=%d queue=%d slots=%d waitingPP=%d",
-						i, r.view, r.active, r.vc.pending, r.seqno, r.lastExec, r.lastCommitted, r.log.Low(), len(r.queue), r.log.SlotCount(), len(r.waitingPP))
+						i, r.view, r.active, r.vc.pending, r.seqno, r.lastExec, r.lastCommitted, r.log.Low(), r.queue.Len(), r.log.SlotCount(), len(r.waitingPP))
 					r.log.Slots(func(s *vlog.Slot) {
 						t.Logf("  slot %d: view=%d hasDigest=%v hasPP=%v prepared=%v committed=%v execT=%v exec=%v prepCount=%d commitCount=%d",
 							s.Seq, s.View, s.HasDigest, s.PrePrepare != nil, s.Prepared, s.CommittedLocal, s.ExecutedTentative, s.Executed, s.PrepareCount(r.primary(s.View)), s.CommitCount())

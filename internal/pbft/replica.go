@@ -61,6 +61,20 @@ type Metrics struct {
 	PagesCopied    uint64
 	PagesDigested  uint64
 	CkptDigestTime time.Duration
+	// Batching observability (§5.1.4, normalcase.go): BatchesProposed /
+	// RequestsProposed count pre-prepares this primary issued and the
+	// requests they carried; BatchFillAvg is their ratio at snapshot time.
+	// BatchBytesTotal sums the op bytes proposed. BatchWaitFires counts
+	// accumulate deadlines that expired and flushed a partial batch.
+	// QueueDepth and BatchTarget sample the request queue length and the
+	// adaptive fill target at snapshot time.
+	BatchesProposed  uint64
+	RequestsProposed uint64
+	BatchFillAvg     float64
+	BatchBytesTotal  uint64
+	BatchWaitFires   uint64
+	QueueDepth       uint64
+	BatchTarget      uint64
 }
 
 // execRecord remembers what executed at a sequence number so new-view
@@ -140,10 +154,16 @@ type Replica struct {
 	ckptVotes    map[message.Seq]map[message.NodeID]crypto.Digest
 	pendingCkpts map[message.Seq]crypto.Digest // taken tentatively, msg unsent
 
-	// Request queue (FIFO, one entry per client — §5.5 fairness).
-	queue       []crypto.Digest
-	queuedByCli map[message.NodeID]crypto.Digest
-	roQueue     []queuedRO // read-only requests awaiting quiescence
+	// Request queue (FIFO, one entry per client — §5.5 fairness) and the
+	// primary's batch-assembly state (normalcase.go): batchTarget is the
+	// adaptive fill target (AIMD between 1 and BatchRequests); batchDeadline
+	// is the live accumulate deadline (zero = not armed) backed by
+	// batchTimer, whose channel the event loop selects on.
+	queue         requestQueue
+	batchTarget   int
+	batchDeadline time.Time
+	batchTimer    *time.Timer
+	roQueue       []queuedRO // read-only requests awaiting quiescence
 
 	// Pre-prepares waiting for separately-transmitted request bodies.
 	waitingPP map[message.Seq]*message.PrePrepare
@@ -208,11 +228,14 @@ func NewReplica(cfg Config, dir *Directory, net Network,
 		replyCache:   executor.NewReplyCache(),
 		ckptVotes:    make(map[message.Seq]map[message.NodeID]crypto.Digest),
 		pendingCkpts: make(map[message.Seq]crypto.Digest),
-		queuedByCli:  make(map[message.NodeID]crypto.Digest),
+		queue:        newRequestQueue(),
+		batchTarget:  1,
 		waitingPP:    make(map[message.Seq]*message.PrePrepare),
 		rng:          rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<32)),
 		vcTimeout:    cfg.ViewChangeTimeout,
 	}
+	r.batchTimer = time.NewTimer(time.Hour)
+	r.batchTimer.Stop()
 	r.region = statemachine.NewRegion(cfg.StateSize, cfg.PageSize)
 	r.service = svc(r.region)
 	r.ckpt = checkpoint.NewManager(r.region, cfg.Fanout)
@@ -340,6 +363,11 @@ func (r *Replica) Metrics() Metrics {
 	var m Metrics
 	r.do(func() {
 		m = r.metrics
+		m.QueueDepth = uint64(r.queue.Len())
+		m.BatchTarget = uint64(r.batchTarget)
+		if m.BatchesProposed > 0 {
+			m.BatchFillAvg = float64(m.RequestsProposed) / float64(m.BatchesProposed)
+		}
 		if r.xs == nil {
 			// Serial path: the manager is event-loop-owned, read directly.
 			m.PagesCopied = r.ckpt.PagesCopied
@@ -436,6 +464,11 @@ func (r *Replica) run() {
 				im.ok = r.verify(im.m)
 			}
 			r.onVerified(im.m, im.ok)
+		case <-r.batchTimer.C:
+			if r.cfg.Behavior == Crashed {
+				continue
+			}
+			r.onBatchWait()
 		case <-ticker.C:
 			if r.cfg.Behavior == Crashed {
 				continue

@@ -1,0 +1,135 @@
+package pbft
+
+import (
+	"repro/internal/crypto"
+	"repro/internal/message"
+)
+
+// requestQueue is the primary-side (and backup waiting-set) request queue of
+// §2.3.5/§5.5: FIFO over clients, at most one entry — the newest request —
+// per client. It is an intrusive doubly-linked list indexed by client, so
+// enqueue, replace, and dequeue-by-client are all O(1); the previous slice
+// representation rescanned the whole queue on every enqueueRequest /
+// dequeueExecuted, which at hundreds of queued clients made queue
+// maintenance itself a hot-path cost (every executed request paid one scan
+// per batch entry).
+//
+// The queue also maintains a running byte total of the queued operations so
+// the batch assembler can apply its byte cap and the adaptive policy can
+// read queue pressure without walking the list.
+type requestQueue struct {
+	head, tail *reqNode
+	byClient   map[message.NodeID]*reqNode
+	bytes      int
+}
+
+// reqNode is one queued request: the client principal, the digest of its
+// newest request, and the operation size used for byte accounting.
+type reqNode struct {
+	client     message.NodeID
+	digest     crypto.Digest
+	size       int
+	prev, next *reqNode
+}
+
+func newRequestQueue() requestQueue {
+	return requestQueue{byClient: make(map[message.NodeID]*reqNode)}
+}
+
+// Len returns the number of queued requests (= clients with a queued entry).
+func (q *requestQueue) Len() int { return len(q.byClient) }
+
+// Bytes returns the total op bytes queued.
+func (q *requestQueue) Bytes() int { return q.bytes }
+
+// Digest returns the queued digest for a client, if any.
+func (q *requestQueue) Digest(client message.NodeID) (crypto.Digest, bool) {
+	n, ok := q.byClient[client]
+	if !ok {
+		return crypto.Digest{}, false
+	}
+	return n.digest, true
+}
+
+// Front returns the oldest queued entry without removing it.
+func (q *requestQueue) Front() (client message.NodeID, d crypto.Digest, size int, ok bool) {
+	if q.head == nil {
+		return 0, crypto.Digest{}, 0, false
+	}
+	return q.head.client, q.head.digest, q.head.size, true
+}
+
+// Push appends a request for client at the tail. If the client already has
+// a queued entry it is replaced by the newer request — removed from its
+// position and re-queued at the tail (§5.5 fairness: one slot per client,
+// newest request wins). Pushing the digest already queued is a no-op.
+func (q *requestQueue) Push(client message.NodeID, d crypto.Digest, size int) {
+	if old, ok := q.byClient[client]; ok {
+		if old.digest == d {
+			return
+		}
+		q.unlink(old)
+	}
+	n := &reqNode{client: client, digest: d, size: size}
+	q.byClient[client] = n
+	q.bytes += size
+	if q.tail == nil {
+		q.head, q.tail = n, n
+		return
+	}
+	n.prev = q.tail
+	q.tail.next = n
+	q.tail = n
+}
+
+// Remove drops the client's entry if it matches d exactly.
+func (q *requestQueue) Remove(client message.NodeID, d crypto.Digest) {
+	if n, ok := q.byClient[client]; ok && n.digest == d {
+		q.unlink(n)
+	}
+}
+
+// RemoveClient drops the client's entry regardless of digest.
+func (q *requestQueue) RemoveClient(client message.NodeID) {
+	if n, ok := q.byClient[client]; ok {
+		q.unlink(n)
+	}
+}
+
+// Pop removes and returns the oldest entry.
+func (q *requestQueue) Pop() (client message.NodeID, d crypto.Digest, size int, ok bool) {
+	n := q.head
+	if n == nil {
+		return 0, crypto.Digest{}, 0, false
+	}
+	q.unlink(n)
+	return n.client, n.digest, n.size, true
+}
+
+// Each walks the queue head to tail; fn returning false stops the walk. The
+// current node may be removed by fn (the walk holds its successor first).
+func (q *requestQueue) Each(fn func(client message.NodeID, d crypto.Digest) bool) {
+	for n := q.head; n != nil; {
+		next := n.next
+		if !fn(n.client, n.digest) {
+			return
+		}
+		n = next
+	}
+}
+
+func (q *requestQueue) unlink(n *reqNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		q.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		q.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	delete(q.byClient, n.client)
+	q.bytes -= n.size
+}

@@ -197,10 +197,10 @@ func TestQueueFairnessOneSlotPerClient(t *testing.T) {
 		for ts := uint64(1); ts <= 10; ts++ {
 			req := &message.Request{Client: cli, Timestamp: ts, Op: kvservice.Incr()}
 			r.log.StoreRequest(req)
-			r.enqueueRequest(cli, req.Digest())
+			r.enqueueRequest(req)
 		}
-		if len(r.queue) != 1 {
-			t.Errorf("queue holds %d entries for one client, want 1", len(r.queue))
+		if r.queue.Len() != 1 {
+			t.Errorf("queue holds %d entries for one client, want 1", r.queue.Len())
 		}
 	})
 }

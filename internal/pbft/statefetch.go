@@ -591,18 +591,14 @@ func (r *Replica) finishFetchIfDone() {
 // place it holds the view-change timer armed through the whole catch-up and
 // pushes the rejoiner into a lonely view change.
 func (r *Replica) pruneRetiredQueue() {
-	keep := r.queue[:0]
-	for _, d := range r.queue {
-		req, ok := r.log.Request(d)
-		if ok {
+	r.queue.Each(func(client message.NodeID, d crypto.Digest) bool {
+		if req, ok := r.log.Request(d); ok {
 			if ts, replied := r.lastReplied(req.Client); replied && req.Timestamp <= ts {
-				delete(r.queuedByCli, req.Client)
-				continue
+				r.queue.Remove(client, d)
 			}
 		}
-		keep = append(keep, d)
-	}
-	r.queue = keep
+		return true
+	})
 	r.updateVCTimer()
 }
 

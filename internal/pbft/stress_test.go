@@ -75,7 +75,7 @@ func TestConcurrentLargeRequestsStress(t *testing.T) {
 				r.do(func() {
 					t.Logf("replica %d: view=%d active=%v pending=%v seqno=%d lastExec=%d lastCommitted=%d low=%d queue=%d waitingPP=%d reqStore=%d",
 						i, r.view, r.active, r.vc.pending, r.seqno, r.lastExec, r.lastCommitted,
-						r.log.Low(), len(r.queue), len(r.waitingPP), r.log.RequestCount())
+						r.log.Low(), r.queue.Len(), len(r.waitingPP), r.log.RequestCount())
 					for seq := r.lastExec + 1; seq <= r.lastExec+4; seq++ {
 						if s, ok := r.log.Peek(seq); ok {
 							bodies := s.PrePrepare != nil && r.haveSeparateBodies(s.PrePrepare)
