@@ -212,21 +212,26 @@ func (o Options) Validate() error {
 	if o.AgreementWindow > 0 && uint64(o.AgreementWindow) > l {
 		return fmt.Errorf("bft: AgreementWindow=%d > LogWindow=%d; the agreement window cannot exceed the water-mark window", o.AgreementWindow, l)
 	}
-	for name, v := range map[string]int{
-		"StateSize":       o.StateSize,
-		"PageSize":        o.PageSize,
-		"BatchRequests":   o.BatchRequests,
-		"BatchBytes":      o.BatchBytes,
-		"AgreementWindow": o.AgreementWindow,
-		"FetchWindow":     o.FetchWindow,
-		"PipelineWorkers": o.PipelineWorkers,
-		"EgressWorkers":   o.EgressWorkers,
-		"InboxCap":        o.InboxCap,
-		"MaxClients":      o.MaxClients,
-		"MaxRetries":      o.MaxRetries,
+	// An ordered list, not a map: with several negative options the error
+	// reported must not depend on map iteration order.
+	for _, nv := range []struct {
+		name string
+		v    int
+	}{
+		{"StateSize", o.StateSize},
+		{"PageSize", o.PageSize},
+		{"BatchRequests", o.BatchRequests},
+		{"BatchBytes", o.BatchBytes},
+		{"AgreementWindow", o.AgreementWindow},
+		{"FetchWindow", o.FetchWindow},
+		{"PipelineWorkers", o.PipelineWorkers},
+		{"EgressWorkers", o.EgressWorkers},
+		{"InboxCap", o.InboxCap},
+		{"MaxClients", o.MaxClients},
+		{"MaxRetries", o.MaxRetries},
 	} {
-		if v < 0 {
-			return fmt.Errorf("bft: %s must not be negative", name)
+		if nv.v < 0 {
+			return fmt.Errorf("bft: %s must not be negative", nv.name)
 		}
 	}
 	// BatchWait may be negative — that disables the accumulate deadline.

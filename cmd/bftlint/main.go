@@ -1,0 +1,60 @@
+// Command bftlint runs the repo's invariant analyzers (internal/lint).
+//
+// It speaks two protocols:
+//
+//   - As a vet tool (go vet -vettool=$(which bftlint) ./...): the go
+//     command invokes it once per compilation unit with a *.cfg file (and
+//     probes it with -V=full for build caching); this mode delegates to
+//     the x/tools unitchecker, which handles fact serialization between
+//     units.
+//   - Standalone (go run ./cmd/bftlint [packages]): loads the named
+//     packages (default ./...) through the internal driver and prints
+//     findings, exiting 1 if there are any.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || a == "-V=full" || a == "-flags" {
+			unitchecker.Main(lint.Analyzers...) // does not return
+		}
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bftlint:", err)
+		os.Exit(2)
+	}
+	set, err := driver.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bftlint:", err)
+		os.Exit(2)
+	}
+	diags, err := set.Run(lint.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bftlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bftlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -154,7 +154,10 @@ func (s *Service) IsReadOnly(op []byte) bool {
 }
 
 // Execute implements statemachine.Service. Results are status-prefixed;
-// the transition function is total.
+// the transition function is total. Mtimes come exclusively from the agreed
+// nondet value, never the local clock — bfttime enforces this.
+//
+// bftlint:deterministic
 func (s *Service) Execute(client message.NodeID, op []byte, nondet []byte) []byte {
 	if len(op) == 0 {
 		return fail(ErrInval)

@@ -51,7 +51,11 @@ type Snapshot struct {
 }
 
 // Manager owns the live partition tree and the chain of snapshots for one
-// replica.
+// replica. Like the Region it digests, it belongs to the executor goroutine
+// on the staged path; other goroutines reach it only inside Sync/execSync
+// rendezvous.
+//
+// bftlint:owner=executor
 type Manager struct {
 	region *statemachine.Region
 	fanout int

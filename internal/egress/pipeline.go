@@ -166,22 +166,30 @@ func New(workers, queueCap int, s Sealer, t transport.Transport) *Pipeline {
 // Multicast seals m per kind and transmits it to every id in dsts. It never
 // blocks: a saturated or closed pipeline drops the send and reports false
 // (outbox overflow). The caller must not mutate m's body after submission.
+//
+// bftlint:send
 func (p *Pipeline) Multicast(dsts []message.NodeID, m message.Message, kind Kind) bool {
 	return p.submit(kind, m, nil, message.NoNode, dsts)
 }
 
 // Send seals m per kind and transmits it to dst.
+//
+// bftlint:send
 func (p *Pipeline) Send(dst message.NodeID, m message.Message, kind Kind) bool {
 	return p.submit(kind, m, nil, dst, nil)
 }
 
 // SendRaw transmits already-encoded bytes to dst, ordered with the sealed
 // traffic (retransmissions that keep their original authenticators).
+//
+// bftlint:send
 func (p *Pipeline) SendRaw(dst message.NodeID, wire []byte) bool {
 	return p.submit(Raw, nil, wire, dst, nil)
 }
 
 // MulticastRaw transmits already-encoded bytes to every id in dsts.
+//
+// bftlint:send
 func (p *Pipeline) MulticastRaw(dsts []message.NodeID, wire []byte) bool {
 	return p.submit(Raw, nil, wire, message.NoNode, dsts)
 }
@@ -239,6 +247,9 @@ func (p *Pipeline) Stats() Stats {
 	}
 }
 
+// worker seals outbound messages off the shared queue.
+//
+// bftlint:entrypoint=worker
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	for {
@@ -255,6 +266,10 @@ func (p *Pipeline) worker() {
 	}
 }
 
+// collect re-sequences sealed jobs into send order, re-seals any that
+// crossed a key rotation, and hands buffers to the transport.
+//
+// bftlint:entrypoint=worker
 func (p *Pipeline) collect() {
 	defer p.wg.Done()
 	for {

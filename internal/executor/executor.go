@@ -107,9 +107,9 @@ type Config struct {
 	// blocks the dispatcher (counted in Stats.Stalls), it never drops.
 	QueueCap int
 
-	Service statemachine.Service
-	Ckpt    *checkpoint.Manager
-	Cache   *ReplyCache
+	Service statemachine.Service // bftlint:owner=executor
+	Ckpt    *checkpoint.Manager  // bftlint:owner=executor
+	Cache   *ReplyCache          // bftlint:owner=executor
 	Out     Outbound
 	// Report delivers checkpoint Events; it must not block (the replica
 	// appends to an unbounded queue drained by the event loop).
@@ -279,6 +279,8 @@ func (e *Executor) Discard(seq message.Seq) {
 // blocked, so fn may touch both executor-owned and caller-owned state.
 // Never call Sync from inside a Sync closure (the executor cannot process
 // the nested command).
+//
+// bftlint:rendezvous
 func (e *Executor) Sync(fn func()) {
 	done := make(chan struct{}, 1)
 	e.submit(cmd{kind: cmdSync, fn: fn, done: done})
@@ -292,6 +294,10 @@ func (e *Executor) Sync(fn func()) {
 // The executor goroutine
 // ---------------------------------------------------------------------------
 
+// run is the stage-3 goroutine: the sole owner of the service, checkpoint
+// manager, and reply cache while the pipeline runs.
+//
+// bftlint:entrypoint=executor
 func (e *Executor) run() {
 	defer e.wg.Done()
 	for {

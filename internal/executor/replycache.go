@@ -23,6 +23,8 @@ type Cached struct {
 // Ownership follows execution: the serial path keeps it on the event loop,
 // the staged path hands it to the executor goroutine (the protocol core
 // then keeps only a timestamp mirror for exactly-once checks).
+//
+// bftlint:owner=executor
 type ReplyCache struct {
 	m map[message.NodeID]*Cached
 }

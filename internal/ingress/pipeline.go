@@ -102,7 +102,11 @@ type Pipeline struct {
 
 // New starts a pipeline with the given pool size (0 means GOMAXPROCS) and
 // queue capacity (0 means 8192, matching the replica inbox), delivering to
-// sink. Close releases the pool.
+// sink. Close releases the pool. The sink closure runs on the collector
+// goroutine, never the caller's: it must confine itself to worker-safe
+// state (channels, atomics).
+//
+// bftlint:runs=worker
 func New(workers, queueCap int, v Verifier, sink Sink) *Pipeline {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -180,6 +184,9 @@ func (p *Pipeline) Stats() Stats {
 	}
 }
 
+// worker decodes and authenticates datagrams off the shared queue.
+//
+// bftlint:entrypoint=worker
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	for {
@@ -202,6 +209,9 @@ func (p *Pipeline) worker() {
 	}
 }
 
+// collect re-sequences verdicts into acceptance order and feeds the sink.
+//
+// bftlint:entrypoint=worker
 func (p *Pipeline) collect() {
 	defer p.wg.Done()
 	for {

@@ -83,6 +83,11 @@ func (s *Service) putU64(off int, v uint64) {
 
 // Execute implements statemachine.Service. The transition function is
 // total: malformed operations return an empty result rather than failing.
+// It must be a pure function of (state, client, op, nondet) — bfttime
+// flags any wall-clock read reachable from here; local time belongs in
+// ProposeNonDet, where the protocol agrees on it first (§5.4).
+//
+// bftlint:deterministic
 func (s *Service) Execute(client message.NodeID, op []byte, nondet []byte) []byte {
 	if len(op) == 0 {
 		return nil

@@ -1,0 +1,12 @@
+package alias_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/alias"
+	"repro/internal/lint/linttest"
+)
+
+func TestAlias(t *testing.T) {
+	linttest.Run(t, "aliasfix", alias.Analyzer)
+}

@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/bufown"
+	"repro/internal/lint/linttest"
+)
+
+func TestBufown(t *testing.T) {
+	linttest.Run(t, "bufownfix", bufown.Analyzer)
+}

@@ -1,0 +1,20 @@
+package det_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/det"
+	"repro/internal/lint/linttest"
+)
+
+func TestRand(t *testing.T) {
+	linttest.Run(t, "randfix", det.RandAnalyzer)
+}
+
+func TestTime(t *testing.T) {
+	linttest.Run(t, "timefix", det.TimeAnalyzer)
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "mapfix", det.MapOrderAnalyzer)
+}

@@ -1,0 +1,125 @@
+// Package lint is bftlint: a go/analysis suite that machine-enforces the
+// concurrency, aliasing, and determinism invariants this replica's safety
+// argument rests on. PBFT (§4.2, §A) assumes protocol-state access is
+// serialized; after the three-stage pipeline split (ingress/egress worker
+// pools, stage-3 executor), that assumption lives in goroutine ownership
+// rules that used to exist only in comments and one runtime CAS — and that
+// have been violated in shipped code twice (the PR 2 qset-aliasing bug,
+// the PR 4 map-order nondeterminism). bftlint turns those rules into
+// annotations the compiler toolchain checks on every build.
+//
+// # Running
+//
+// Standalone (uses an internal driver; no go/packages needed):
+//
+//	go run ./cmd/bftlint ./...
+//
+// Under the build system, as a vet tool (modular analysis with
+// serialized facts, incremental via the build cache):
+//
+//	go build -o /tmp/bftlint ./cmd/bftlint
+//	go vet -vettool=/tmp/bftlint ./...
+//
+// Both exit nonzero on any finding. CI runs the vettool form before the
+// race tests.
+//
+// # Annotation grammar
+//
+// A directive is a comment line of the form
+//
+//	//bftlint:KEY
+//	//bftlint:KEY=VALUE
+//
+// One space may follow the "//". Anything after the first whitespace
+// inside the directive body is human commentary and is ignored, so
+//
+//	// bftlint:owner=executor   (sole mutator: the stage-3 goroutine)
+//
+// is a well-formed owner directive. Unknown domains are themselves
+// diagnosed; unknown keys are reserved for future analyzers and ignored.
+// Directives attach to the declaration whose doc comment (or, for struct
+// fields, trailing comment) they appear in.
+//
+// Keys and where they may appear:
+//
+//	owner=DOMAIN        type, struct field, or method. The state is owned
+//	                    by DOMAIN (eventloop | executor | worker), or is
+//	                    explicitly safe for cross-domain use (shared:
+//	                    channels, atomics, immutable-after-construction
+//	                    config). A field directive overrides its struct's
+//	                    default. On a method, the directive overrides the
+//	                    receiver type's owner for calls to that method:
+//	                    owner=shared carves a cross-domain-safe helper
+//	                    (one that touches only shared fields) out of an
+//	                    owned type. A shared method is a trust boundary:
+//	                    its internal accesses do not propagate to callers,
+//	                    so the annotation is a claim to audit, like any
+//	                    suppression.
+//	entrypoint=DOMAIN   function. Its body executes in DOMAIN (a worker
+//	                    pool callback, the executor loop). The bftowner
+//	                    analyzer checks everything statically reachable
+//	                    from it against the ownership rules.
+//	rendezvous          function or interface method. Closures passed to
+//	                    it run serialized against every owner (Sync,
+//	                    execSync); their bodies are exempt.
+//	runs=DOMAIN         function or interface method. Function-literal
+//	                    arguments passed to it execute in DOMAIN
+//	                    (transport attach handlers, pool sinks); their
+//	                    bodies are checked under that domain.
+//	longlived           type. Values outlive the calls that populate
+//	                    them; bftalias flags caller-provided slices/maps
+//	                    stored into them without a deep copy.
+//	consumes=PARAMS     function or interface method; PARAMS is a
+//	                    comma-separated list of parameter names whose
+//	                    arguments the callee takes ownership of
+//	                    (SendOwned/MulticastOwned payloads). bftbufown
+//	                    flags uses after the handoff.
+//	send                function or interface method. It emits protocol
+//	                    messages; bftmaporder flags calls to it from
+//	                    inside a map-range body.
+//	deterministic       function. It must compute identically on every
+//	                    replica and seeded run; bfttime flags reachable
+//	                    time.Now/Since/Until.
+//
+// Suppressions acknowledge an intentional exception on the same line or
+// the line directly above the finding:
+//
+//	allow=NAME[,NAME]   suppress the named analyzers (bftowner, bftalias,
+//	                    bftbufown, bftrand, bfttime, bftmaporder) here.
+//	deepcopy            shorthand for allow=bftalias: "this store is a
+//	                    deep copy / the alias is intended".
+//	reuse-ok            shorthand for allow=bftbufown: "this reuse is
+//	                    coordinated with the release callback".
+//
+// # Analyzers
+//
+//   - bftowner: call-graph reachability from entrypoint-annotated
+//     functions (and runs=-spawned closures) to owner-annotated state;
+//     reports any touch of state the entry domain does not own. Facts
+//     propagate summaries across packages, so an executor entry point in
+//     internal/executor reaching event-loop state in internal/pbft through
+//     three calls is still caught. Interface dispatch is statically
+//     invisible; annotate the concrete implementations of cross-goroutine
+//     interfaces as entrypoints to close that hole.
+//   - bftalias: the PR 2 qset bug shape — caller-provided slice/map
+//     memory (parameters, their sub-slices, composite literals embedding
+//     them) stored into a bftlint:longlived struct without a deep copy.
+//   - bftbufown: use of a payload variable after it was surrendered to a
+//     bftlint:consumes callee, including reuse across loop iterations
+//     when the variable outlives the loop.
+//   - bftrand: package-global math/rand or math/rand/v2 draws (anything
+//     but source constructors); replicas must use their per-replica
+//     seeded source so seeded simnet runs stay bit-reproducible.
+//   - bfttime: wall-clock reads (time.Now/Since/Until, transitive)
+//     reachable from bftlint:deterministic functions.
+//   - bftmaporder: the PR 4 bug shape — map-range loops that either call
+//     a bftlint:send function in the body (iteration order reaches the
+//     wire) or select a winner via early exit with the key/value escaping
+//     (iteration order picks the replier/digest/sequence). Iterate sorted
+//     keys instead; see ownCkptList or statefetch's retry path for the
+//     idiom.
+//
+// All analyzers skip _test.go files: tests exercise nondeterminism and
+// aliasing on purpose, and `go vet` analyzes test variants of every
+// package.
+package lint

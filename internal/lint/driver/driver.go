@@ -1,0 +1,377 @@
+// Package driver loads and analyzes packages for bftlint without
+// go/packages (which the vendored x/tools subset does not include — the
+// container has no module network access). It shells out to `go list
+// -json -export -deps` for package metadata and compiled export data,
+// typechecks every main-module package from source in dependency order so
+// object identities are shared across packages, imports external
+// dependencies (std, vendored x/tools) from their export files, and runs
+// analyzers with an in-memory fact store.
+//
+// Under `go vet -vettool` none of this is used: cmd/bftlint delegates to
+// the vendored unitchecker, and the build tool drives loading and fact
+// serialization. This driver backs the standalone `go run ./cmd/bftlint
+// ./...` mode and the linttest golden harness.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"reflect"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one source-typechecked main-module package.
+type Package struct {
+	PkgPath    string
+	Dir        string
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	Reportable bool // matched the load patterns (not a dep-only package)
+}
+
+// Set is a load result: packages in dependency order plus everything
+// needed to import the rest of the build from export data.
+type Set struct {
+	Fset    *token.FileSet
+	Pkgs    []*Package
+	exports map[string]string // import path -> export data file
+	srcPkgs map[string]*types.Package
+	gc      types.Importer // shared so identical imports unify
+}
+
+// Diagnostic is one analyzer finding, positioned.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// Load lists patterns (relative to dir) and typechecks the main-module
+// packages of the result, dependencies first.
+func Load(dir string, patterns ...string) (*Set, error) {
+	args := append([]string{"list", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPkg)
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		byPath[p.ImportPath] = &p
+		order = append(order, p.ImportPath)
+	}
+
+	s := &Set{
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		srcPkgs: make(map[string]*types.Package),
+	}
+	inMain := func(p *listPkg) bool { return p != nil && p.Module != nil && p.Module.Main }
+	for _, p := range byPath {
+		if p.Export != "" {
+			s.exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Topologically order the main-module packages.
+	var topo []string
+	state := make(map[string]int) // 0 unvisited, 1 on stack, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		p := byPath[path]
+		if !inMain(p) || state[path] == 2 {
+			return nil
+		}
+		if state[path] == 1 {
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = 1
+		for _, imp := range p.Imports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		topo = append(topo, path)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, path := range topo {
+		p := byPath[path]
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by the bftlint driver", path)
+		}
+		pkg, err := s.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Reportable = !p.DepOnly
+		s.Pkgs = append(s.Pkgs, pkg)
+	}
+	return s, nil
+}
+
+// importerFor resolves imports: source-typechecked main-module packages by
+// identity, everything else through compiled export data.
+type importerFor struct{ s *Set }
+
+func (im importerFor) Import(path string) (*types.Package, error) {
+	if p := im.s.srcPkgs[path]; p != nil {
+		return p, nil
+	}
+	if im.s.gc == nil {
+		im.s.gc = importer.ForCompiler(im.s.Fset, "gc", func(path string) (io.ReadCloser, error) {
+			f := im.s.exports[path]
+			if f == "" {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		})
+	}
+	return im.s.gc.Import(path)
+}
+
+// check parses and typechecks one package from source.
+func (s *Set) check(p *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !strings.HasPrefix(path, "/") {
+			path = p.Dir + "/" + name
+		}
+		f, err := parser.ParseFile(s.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFor{s}}
+	pkg, err := conf.Check(p.ImportPath, s.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", p.ImportPath, err)
+	}
+	s.srcPkgs[p.ImportPath] = pkg
+	return &Package{
+		PkgPath:   p.ImportPath,
+		Dir:       p.Dir,
+		Syntax:    files,
+		Types:     pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Running analyzers
+// ---------------------------------------------------------------------------
+
+type objFactKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+// Run executes the analyzers (and their requirements) over every package
+// in the set, dependency order first so facts flow forward. Only
+// reportable packages contribute diagnostics.
+func (s *Set) Run(analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	plan, err := executionOrder(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	objFacts := make(map[objFactKey]analysis.Fact)
+	pkgFacts := make(map[pkgFactKey]analysis.Fact)
+	var diags []Diagnostic
+
+	for _, pkg := range s.Pkgs {
+		results := make(map[*analysis.Analyzer]interface{})
+		for _, a := range plan {
+			pass := s.newPass(a, pkg, results, objFacts, pkgFacts, &diags)
+			res, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			results[a] = res
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+func (s *Set) newPass(
+	a *analysis.Analyzer, pkg *Package,
+	results map[*analysis.Analyzer]interface{},
+	objFacts map[objFactKey]analysis.Fact,
+	pkgFacts map[pkgFactKey]analysis.Fact,
+	diags *[]Diagnostic,
+) *analysis.Pass {
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		resultOf[req] = results[req]
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       s.Fset,
+		Files:      pkg.Syntax,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.TypesInfo,
+		TypesSizes: types.SizesFor("gc", build.Default.GOARCH),
+		ResultOf:   resultOf,
+		ReadFile:   os.ReadFile,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		if !pkg.Reportable {
+			return
+		}
+		*diags = append(*diags, Diagnostic{
+			Analyzer: a.Name,
+			Pos:      s.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+		objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact analysis.Fact) bool {
+		return importFact(objFacts[objFactKey{obj, reflect.TypeOf(fact)}], fact)
+	}
+	pass.ExportPackageFact = func(fact analysis.Fact) {
+		pkgFacts[pkgFactKey{pkg.Types, reflect.TypeOf(fact)}] = fact
+	}
+	pass.ImportPackageFact = func(p *types.Package, fact analysis.Fact) bool {
+		return importFact(pkgFacts[pkgFactKey{p, reflect.TypeOf(fact)}], fact)
+	}
+	pass.AllObjectFacts = func() []analysis.ObjectFact {
+		var out []analysis.ObjectFact
+		for k, f := range objFacts {
+			out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+		}
+		return out
+	}
+	pass.AllPackageFacts = func() []analysis.PackageFact {
+		var out []analysis.PackageFact
+		for k, f := range pkgFacts {
+			out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+		}
+		return out
+	}
+	return pass
+}
+
+// importFact copies a stored fact into the caller's pointer.
+func importFact(stored analysis.Fact, dst analysis.Fact) bool {
+	if stored == nil {
+		return false
+	}
+	sv := reflect.ValueOf(stored)
+	dv := reflect.ValueOf(dst)
+	if sv.Type() != dv.Type() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// executionOrder flattens the analyzers plus their requirements into a
+// dependency-respecting sequence.
+func executionOrder(analyzers []*analysis.Analyzer) ([]*analysis.Analyzer, error) {
+	var plan []*analysis.Analyzer
+	state := make(map[*analysis.Analyzer]int)
+	var visit func(a *analysis.Analyzer) error
+	visit = func(a *analysis.Analyzer) error {
+		switch state[a] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("requirement cycle through %s", a.Name)
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		plan = append(plan, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}

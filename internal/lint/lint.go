@@ -1,0 +1,22 @@
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/alias"
+	"repro/internal/lint/bufown"
+	"repro/internal/lint/det"
+	"repro/internal/lint/owner"
+)
+
+// Analyzers is the full bftlint suite, in the order findings are most
+// useful to read: ownership first (the structural invariant), then the
+// memory contracts, then determinism.
+var Analyzers = []*analysis.Analyzer{
+	owner.Analyzer,
+	alias.Analyzer,
+	bufown.Analyzer,
+	det.RandAnalyzer,
+	det.TimeAnalyzer,
+	det.MapOrderAnalyzer,
+}

@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+// TestRepoClean runs the full suite over the whole module and requires zero
+// findings: the clean-tree guarantee CI enforces via the vettool step. This
+// also exercises cross-package fact flow (RunsFact from internal/transport
+// into the ingress/egress pools, LonglivedFact on pbft view-change state)
+// on the real tree rather than fixtures.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(self)))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found from %s: %v", self, err)
+	}
+	set, err := driver.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := set.Run(lint.Analyzers)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding on the clean tree: %s", d)
+	}
+}

@@ -1,0 +1,12 @@
+package owner_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/owner"
+)
+
+func TestOwner(t *testing.T) {
+	linttest.Run(t, "ownerfix", owner.Analyzer)
+}

@@ -1,0 +1,64 @@
+// Package bufownfix exercises bftbufown: payload slices surrendered to a
+// bftlint:consumes callee (the SendOwned/MulticastOwned release-callback
+// contract) must not be used afterwards.
+package bufownfix
+
+// mux mimics the transport's owned-buffer surface.
+type mux struct{}
+
+// SendOwned takes ownership of payload; it is released asynchronously.
+//
+// bftlint:consumes=payload
+func (m *mux) SendOwned(dst int, payload []byte, release func([]byte)) {}
+
+// sender is the interface form; consumes= works on interface methods too.
+type sender interface {
+	// bftlint:consumes=payload
+	MulticastOwned(dsts []int, payload []byte, release func([]byte))
+}
+
+func noop([]byte) {}
+
+// useAfterSend is the linear rule: any use after the handoff.
+func useAfterSend(m *mux) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, 1, 2, 3)
+	m.SendOwned(1, buf, noop)
+	_ = len(buf) // want `buf is used after being surrendered to SendOwned`
+}
+
+// reuseAcrossIterations is the loop rule: buf outlives the loop, so the
+// next iteration's append reads a surrendered buffer.
+func reuseAcrossIterations(m *mux, payloads [][]byte) {
+	var buf []byte
+	for _, p := range payloads {
+		buf = append(buf[:0], p...) // want `buf is used across loop iterations after being surrendered to SendOwned`
+		m.SendOwned(1, buf, noop)
+	}
+}
+
+// reallocate re-establishes ownership: a whole-variable reassignment from
+// fresh memory between iterations is legal.
+func reallocate(m *mux, payloads [][]byte) {
+	var buf []byte
+	for _, p := range payloads {
+		buf = make([]byte, 0, len(p))
+		buf = append(buf, p...)
+		m.SendOwned(1, buf, noop)
+	}
+}
+
+// interfaceHandoff applies the same rule through the interface method.
+func interfaceHandoff(s sender, dsts []int) {
+	wire := []byte{1}
+	s.MulticastOwned(dsts, wire, noop)
+	_ = wire[0] // want `wire is used after being surrendered to MulticastOwned`
+}
+
+// acknowledged documents a coordinated reuse (the release callback has
+// already run by construction).
+func acknowledged(m *mux) {
+	buf := []byte{1}
+	m.SendOwned(1, buf, noop)
+	_ = buf[0] // bftlint:reuse-ok the nil release above runs synchronously
+}

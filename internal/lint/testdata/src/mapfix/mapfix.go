@@ -1,0 +1,69 @@
+// Package mapfix exercises bftmaporder with the PR 4 bug shape: Go's
+// randomized map iteration order leaking into wire order (a bftlint:send
+// call in a map-range body) or into winner selection (early exit with the
+// key/value escaping the loop). The fix in both cases is to iterate sorted
+// keys.
+package mapfix
+
+import "sort"
+
+// emit puts a protocol message on the wire.
+//
+// bftlint:send
+func emit(dst int, payload []byte) {}
+
+// broadcastUnsorted feeds map order straight into wire order.
+func broadcastUnsorted(peers map[int][]byte) {
+	for id, p := range peers {
+		emit(id, p) // want `emit emits messages inside a map range: iteration order reaches the wire`
+	}
+}
+
+// broadcastSorted is the idiom: collect keys, sort, then send.
+func broadcastSorted(peers map[int][]byte) {
+	ids := make([]int, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		emit(id, peers[id])
+	}
+}
+
+// pickReplier lets map order choose which name escapes via return.
+func pickReplier(names map[int]string) string {
+	for _, name := range names {
+		return name // want `map iteration order selects this result \(early exit with escaping key/value\); iterate sorted keys`
+	}
+	return ""
+}
+
+// pickAssigned escapes the key through an assignment plus break.
+func pickAssigned(scores map[int]int) int {
+	best := -1
+	for id, s := range scores {
+		if s > 10 {
+			best = id // want `map iteration order selects this result`
+			break
+		}
+	}
+	return best
+}
+
+// tally visits every element; order cannot matter without an early exit.
+func tally(scores map[int]int) int {
+	total := 0
+	for _, s := range scores {
+		total += s
+	}
+	return total
+}
+
+// acknowledged keeps a deliberately unordered broadcast (fault injection
+// shuffles delivery anyway).
+func acknowledged(peers map[int][]byte) {
+	for id, p := range peers {
+		emit(id, p) // bftlint:allow=bftmaporder fault-injection path, order is shuffled downstream
+	}
+}

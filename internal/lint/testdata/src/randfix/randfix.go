@@ -1,0 +1,40 @@
+// Package randfix exercises bftrand: package-global math/rand (v1 and v2)
+// draws come from the shared process stream, so seeded simnet runs stop
+// being reproducible. Explicit sources and their methods are fine.
+package randfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// jitterV1 draws from the v1 global stream.
+func jitterV1(n int) int {
+	return rand.Intn(n) // want `package-global rand\.Intn draws from the shared process stream`
+}
+
+// jitterV2 draws from the v2 global stream (reported under the local name).
+func jitterV2(n int) int {
+	return randv2.IntN(n) // want `package-global randv2\.IntN draws from the shared process stream`
+}
+
+// seeded builds an explicit per-replica source: constructors are exempt,
+// and method calls on the source never touch the global stream.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// seededV2 is the same idiom over rand/v2, as replica.go uses.
+func seededV2(seed uint64, n int) int {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.IntN(n)
+}
+
+// typeRef mentions rand types without drawing: not a finding.
+var typeRef *rand.Rand
+
+// acknowledged keeps a deliberate global draw (e.g. test-only jitter).
+func acknowledged() int64 {
+	return rand.Int63() // bftlint:allow=bftrand process-level jitter, not replica-visible
+}

@@ -1,0 +1,43 @@
+// Package timefix exercises bfttime: functions annotated
+// bftlint:deterministic must not reach time.Now/Since/Until, directly or
+// through any call chain. Time enters deterministic paths only as a
+// parameter.
+package timefix
+
+import "time"
+
+// pick reads the clock directly.
+//
+// bftlint:deterministic
+func pick(xs []int) int {
+	now := time.Now() // want `bftlint:deterministic pick reaches time\.Now`
+	_ = now
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[0]
+}
+
+// stamp is an unannotated helper; the read is reported at the first hop of
+// the chain from the deterministic caller.
+func stamp() int64 { return time.Since(time.Time{}).Nanoseconds() }
+
+// bftlint:deterministic
+func choose(xs []int) int {
+	d := stamp() // want `bftlint:deterministic choose reaches time\.Since via stamp`
+	return int(d) + len(xs)
+}
+
+// parameterized takes time as an argument: the correct form.
+//
+// bftlint:deterministic
+func parameterized(now time.Time, deadline time.Time) bool {
+	return now.Before(deadline)
+}
+
+// acknowledged keeps a clock read the simnet is known to stub out.
+//
+// bftlint:deterministic
+func acknowledged() int64 {
+	return stamp() // bftlint:allow=bfttime the simnet clock backs this in tests
+}

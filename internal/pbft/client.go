@@ -1,8 +1,10 @@
 package pbft
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -364,7 +366,17 @@ func (c *Client) onReply(rep *message.Reply) {
 			finals[v.digest]++
 		}
 	}
-	for d, n := range counts {
+	// In read-only mode two digests can complete a weak certificate at once
+	// (honest replicas answering from different execution prefixes); iterate
+	// digests in sorted order so the accepted result never depends on map
+	// iteration order.
+	ds := make([]crypto.Digest, 0, len(counts))
+	for d := range counts {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
+	for _, d := range ds {
+		n := counts[d]
 		enough := n >= 2*c.f()+1 || finals[d] >= p.need
 		if p.readOnly {
 			enough = n >= p.need

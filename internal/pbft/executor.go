@@ -36,7 +36,11 @@ type replyMark struct {
 	tentative bool
 }
 
-// execState is the replica's staged-executor bookkeeping.
+// execState is the replica's staged-executor bookkeeping. The mirrors and
+// the dispatch handle belong to the event loop; only the event queue below
+// is written from the executor goroutine.
+//
+// bftlint:owner=eventloop
 type execState struct {
 	ex *executor.Executor
 
@@ -56,9 +60,9 @@ type execState struct {
 
 	// Unbounded event queue from the executor goroutine; evC is a
 	// 1-buffered doorbell the event loop selects on.
-	evMu sync.Mutex
-	evQ  []executor.Event
-	evC  chan struct{}
+	evMu sync.Mutex       // bftlint:owner=shared
+	evQ  []executor.Event // bftlint:owner=shared (guarded by evMu)
+	evC  chan struct{}    // bftlint:owner=shared
 }
 
 // startExecutor builds the stage-3 executor and hands it the service,
@@ -90,6 +94,8 @@ func (r *Replica) staged() bool { return r.xs != nil }
 // manager, and the reply cache: inline on the serial path, as an executor
 // rendezvous on the staged path (the event loop blocks, so fn may touch
 // protocol state too). Never nest execSync calls.
+//
+// bftlint:rendezvous
 func (r *Replica) execSync(fn func()) {
 	if r.xs == nil {
 		fn()
@@ -180,7 +186,10 @@ func (r *Replica) dispatchBatch(pp *message.PrePrepare, seq message.Seq, tentati
 // ---------------------------------------------------------------------------
 
 // reportExecEvent is the executor's non-blocking report callback: append to
-// the unbounded queue and ring the doorbell.
+// the unbounded queue and ring the doorbell. It runs on the executor
+// goroutine and may touch only the shared queue fields.
+//
+// bftlint:entrypoint=executor
 func (r *Replica) reportExecEvent(ev executor.Event) {
 	r.xs.evMu.Lock()
 	r.xs.evQ = append(r.xs.evQ, ev)
@@ -337,7 +346,11 @@ func (r *Replica) pruneCkptsAbove(seq message.Seq) {
 // pipeline / transport.
 type execSender Replica
 
-// SendReply implements executor.Outbound.
+// SendReply implements executor.Outbound. It runs on the executor
+// goroutine; everything it reaches must be shared (bftowner checks this).
+//
+// bftlint:entrypoint=executor
+// bftlint:send
 func (s *execSender) SendReply(rep *message.Reply) {
 	r := (*Replica)(s)
 	r.behaviorMangle(rep)

@@ -1,6 +1,8 @@
 package pbft
 
 import (
+	"bytes"
+	"sort"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -447,7 +449,17 @@ func (r *Replica) haveSeparateBodies(pp *message.PrePrepare) bool {
 // retryWaitingPrePrepares re-processes buffered pre-prepares whose request
 // bodies may have arrived.
 func (r *Replica) retryWaitingPrePrepares() {
-	for seq, pp := range r.waitingPP {
+	// Accepting a buffered pre-prepare multicasts a prepare, so process the
+	// buffer in sequence order rather than map order: the relative send
+	// order is observable on the wire and must be identical on every
+	// seeded run.
+	seqs := make([]message.Seq, 0, len(r.waitingPP))
+	for seq := range r.waitingPP {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		pp := r.waitingPP[seq]
 		if !r.inWV(pp.View, seq) {
 			delete(r.waitingPP, seq)
 			continue
@@ -807,7 +819,11 @@ func (r *Replica) drainReadOnly() {
 // ---------------------------------------------------------------------------
 
 // ckptDigest combines the partition-tree root and the reply-cache blob into
-// the digest carried by checkpoint messages.
+// the digest carried by checkpoint messages. Every replica must compute the
+// same digest for the same state, so nothing time- or randomness-dependent
+// may be reachable from here.
+//
+// bftlint:deterministic
 func ckptDigest(root crypto.Digest, extra []byte) crypto.Digest {
 	return checkpoint.CombinedDigest(root, extra)
 }
@@ -934,8 +950,16 @@ func (r *Replica) maybeStartTransfer(seq message.Seq) {
 	for _, d := range votes {
 		count[d]++
 	}
-	for d, c := range count {
-		if c < r.log.Weak() {
+	// Pick the transfer target digest in sorted order: only one digest can
+	// hold an honest weak certificate, but the scan must not let map order
+	// (or a Byzantine voter) decide which certificate we test first.
+	ds := make([]crypto.Digest, 0, len(count))
+	for d := range count {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
+	for _, d := range ds {
+		if count[d] < r.log.Weak() {
 			continue
 		}
 		if seq > r.log.High() {

@@ -2,6 +2,7 @@ package pbft
 
 import (
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"repro/internal/message"
@@ -208,7 +209,16 @@ func (r *Replica) tryFinishEstimation() {
 	r.rec.estMinC[r.id] = r.log.Low()
 	r.rec.estMaxP[r.id] = r.highestPrepared()
 
-	for cand, c := range r.rec.estMinC {
+	// Several candidates can satisfy the predicate simultaneously (peers
+	// legitimately report different checkpoints); scan them in node-id order
+	// so every seeded run picks the same s_M.
+	cands := make([]message.NodeID, 0, len(r.rec.estMinC))
+	for cand := range r.rec.estMinC {
+		cands = append(cands, cand)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, cand := range cands {
+		c := r.rec.estMinC[cand]
 		le, ge := 0, 0
 		for peer, v := range r.rec.estMinC {
 			if peer != cand && v <= c {
@@ -346,8 +356,16 @@ func (r *Replica) onRecoveryReply(rep *message.Reply) {
 	for _, v := range r.rec.replies {
 		counts[v]++
 	}
-	for seq, n := range counts {
-		if n >= r.f+1 {
+	// At most one value can carry an honest f+1 certificate, but scan in
+	// sorted order anyway: the reply set a Byzantine peer controls must not
+	// get to vary the scan through map iteration order.
+	seqs := make([]uint64, 0, len(counts))
+	for s := range counts {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		if counts[seq] >= r.f+1 {
 			r.finishRecoveryRequest(message.Seq(seq))
 			return
 		}

@@ -1,7 +1,7 @@
 package pbft
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,34 +96,41 @@ type queuedRO struct {
 	mark message.Seq
 }
 
-// Replica is one member of the replica group. All fields are owned by the
-// event-loop goroutine; external access goes through control thunks.
+// Replica is one member of the replica group. Unless a field says
+// otherwise, fields are owned by the event-loop goroutine; external access
+// goes through control thunks. The shared carve-outs are immutable
+// configuration, thread-safe crypto state, channels/atomics, and the
+// pipelines, which are exactly what the worker closures and the executor's
+// reply path touch.
+//
+// bftlint:owner=eventloop
+// bftlint:longlived
 type Replica struct {
-	cfg Config
-	id  message.NodeID
-	n   int
-	f   int
-	dir *Directory
+	cfg Config         // bftlint:owner=shared (immutable after NewReplica)
+	id  message.NodeID // bftlint:owner=shared
+	n   int            // bftlint:owner=shared
+	f   int            // bftlint:owner=shared
+	dir *Directory     // bftlint:owner=shared (internally locked)
 
-	ks   *crypto.KeyStore
-	kp   crypto.KeyPair
-	auth verifier
+	ks   *crypto.KeyStore // bftlint:owner=shared (copy-on-write snapshots)
+	kp   crypto.KeyPair   // bftlint:owner=shared (immutable)
+	auth verifier         // bftlint:owner=shared (reads ks/dir only)
 
-	trans transport.Transport
+	trans transport.Transport // bftlint:owner=shared (substrates are thread-safe)
 	// inbox carries raw datagrams on the serial path; inboxV carries
 	// decoded, pre-verified messages from the ingress pipeline. Exactly one
 	// of the two is allocated, selected by cfg.Opt.Pipeline (the nil one's
 	// event-loop case simply never fires).
-	inbox      chan []byte
-	inboxV     chan inbound
-	pipe       *ingress.Pipeline
-	inboxDrops atomic.Uint64
+	inbox      chan []byte       // bftlint:owner=shared
+	inboxV     chan inbound      // bftlint:owner=shared
+	pipe       *ingress.Pipeline // bftlint:owner=shared
+	inboxDrops atomic.Uint64     // bftlint:owner=shared
 	// out, when non-nil (cfg.Opt.EgressPipeline), seals and transmits
 	// outbound messages off the event loop in send order.
-	out   *egress.Pipeline
-	ctrl  chan func()
-	stopC chan struct{}
-	wg    sync.WaitGroup
+	out   *egress.Pipeline // bftlint:owner=shared
+	ctrl  chan func()      // bftlint:owner=shared
+	stopC chan struct{}    // bftlint:owner=shared
+	wg    sync.WaitGroup   // bftlint:owner=shared
 
 	// Protocol state.
 	view   message.View
@@ -142,13 +149,15 @@ type Replica struct {
 	// inside execSync rendezvous. service's IsReadOnly / ProposeNonDet /
 	// CheckNonDet stay callable from the event loop (see the
 	// statemachine.Service contract).
-	region  *statemachine.Region
-	service statemachine.Service
-	ckpt    *checkpoint.Manager
+	region  *statemachine.Region // bftlint:owner=executor
+	service statemachine.Service // bftlint:owner=executor
+	ckpt    *checkpoint.Manager  // bftlint:owner=executor
 
-	replyCache *executor.ReplyCache
-	// xs is the staged-executor state; nil when ExecPipeline is off.
-	xs *execState
+	replyCache *executor.ReplyCache // bftlint:owner=executor
+	// xs is the staged-executor state; nil when ExecPipeline is off. The
+	// pointer itself is shared (set once in NewReplica); ownership of the
+	// fields behind it is declared on execState.
+	xs *execState // bftlint:owner=shared
 
 	// Checkpoint protocol.
 	ckptVotes    map[message.Seq]map[message.NodeID]crypto.Digest
@@ -231,7 +240,7 @@ func NewReplica(cfg Config, dir *Directory, net Network,
 		queue:        newRequestQueue(),
 		batchTarget:  1,
 		waitingPP:    make(map[message.Seq]*message.PrePrepare),
-		rng:          rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<32)),
+		rng:          rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(cfg.ID))),
 		vcTimeout:    cfg.ViewChangeTimeout,
 	}
 	r.batchTimer = time.NewTimer(time.Hour)
@@ -584,6 +593,8 @@ func (r *Replica) replicaIDs() []message.NodeID { return r.dir.ReplicaIDs() }
 // ---------------------------------------------------------------------------
 
 // signIfPK signs the message in BFT-PK mode; returns true if it handled it.
+//
+// bftlint:owner=shared (kp is immutable; mutates only the message)
 func (r *Replica) signIfPK(m message.Message) bool {
 	if r.cfg.Mode != ModePK {
 		return false
@@ -604,6 +615,9 @@ func (r *Replica) authMulticast(m message.Message) {
 }
 
 // authPoint attaches a single MAC for dst (or a signature in PK mode).
+// Shared: the executor's reply path seals through it off the event loop.
+//
+// bftlint:owner=shared
 func (r *Replica) authPoint(m message.Message, dst message.NodeID) {
 	if r.signIfPK(m) {
 		return
@@ -623,6 +637,8 @@ func (r *Replica) authSigned(m message.Message) {
 
 // ensurePeerKeys lazily installs the administrator-distributed initial keys
 // for a principal first seen now (clients appear dynamically).
+//
+// bftlint:owner=shared (key store is internally synchronized)
 func (r *Replica) ensurePeerKeys(peer message.NodeID) { r.auth.ensurePeerKeys(peer) }
 
 // verifySig checks a signature trailer against the directory.
@@ -640,6 +656,8 @@ func (r *Replica) verify(m message.Message) bool { return r.auth.Verify(m) }
 // the pipelined path the message body must not be mutated after this call
 // (egress workers read it concurrently); every caller builds or re-seals a
 // body that is immutable from here on.
+//
+// bftlint:send
 func (r *Replica) multicastReplicas(m message.Message) {
 	r.behaviorMangle(m)
 	if r.out != nil {
@@ -654,6 +672,8 @@ func (r *Replica) multicastReplicas(m message.Message) {
 }
 
 // sendTo authenticates point-to-point and sends m to dst.
+//
+// bftlint:send
 func (r *Replica) sendTo(dst message.NodeID, m message.Message) {
 	r.behaviorMangle(m)
 	if r.out != nil {
@@ -668,6 +688,8 @@ func (r *Replica) sendTo(dst message.NodeID, m message.Message) {
 // messages keep their original authenticators so relays work). The bytes
 // are captured on the event loop — the stored trailer is event-loop-owned —
 // and ride the egress pipeline as-is so send order is preserved.
+//
+// bftlint:send
 func (r *Replica) sendRaw(dst message.NodeID, m message.Message) {
 	if r.out != nil {
 		r.out.SendRaw(dst, m.Marshal())
@@ -683,6 +705,8 @@ func (r *Replica) sendRaw(dst message.NodeID, m message.Message) {
 // pipelined path the trailer of a stored message object is never populated
 // — sealing happens in the wire buffer — so retransmission must always
 // re-seal rather than replay the object's trailer.
+//
+// bftlint:send
 func (r *Replica) resendOwn(dst message.NodeID, m message.Message) {
 	r.behaviorMangle(m)
 	if r.out != nil {
@@ -695,6 +719,8 @@ func (r *Replica) resendOwn(dst message.NodeID, m message.Message) {
 
 // multicastSigned signs m (via the simulated secure co-processor) and
 // multicasts it to the whole group — new-key announcements (§4.3.1).
+//
+// bftlint:send
 func (r *Replica) multicastSigned(m message.Message) {
 	if r.out != nil {
 		r.out.Multicast(r.replicaIDs(), m, egress.Sign)
@@ -707,6 +733,8 @@ func (r *Replica) multicastSigned(m message.Message) {
 // multicastRawBytes ships pre-encoded bytes to the whole group, ordered
 // with the sealed traffic (recovery-request retransmission keeps the exact
 // signed encoding, §4.3.2).
+//
+// bftlint:send
 func (r *Replica) multicastRawBytes(raw []byte) {
 	if r.out != nil {
 		r.out.MulticastRaw(r.replicaIDs(), raw)
@@ -716,6 +744,8 @@ func (r *Replica) multicastRawBytes(raw []byte) {
 }
 
 // behaviorMangle applies fault-injection personalities to outgoing traffic.
+//
+// bftlint:owner=shared (reads cfg, mutates only the message)
 func (r *Replica) behaviorMangle(m message.Message) {
 	switch r.cfg.Behavior {
 	case CorruptDigest:

@@ -734,16 +734,7 @@ func (r *Replica) onStatusPending(st *message.StatusPending) {
 		// lacks it, and relay others' (the receiver validates relays by
 		// digest against the new-view certificate when authenticators are
 		// stale, §3.2.4).
-		for id, vc := range r.vc.forView {
-			if getBit(st.VCs, int(id)) {
-				continue
-			}
-			if id == r.id {
-				r.resendOwn(st.Replica, vc)
-			} else {
-				r.sendRaw(st.Replica, vc)
-			}
-		}
+		r.sendMissingViewChanges(st.Replica, st.VCs)
 		return
 	}
 	// We are active in this view: give the peer the new-view decision (the
@@ -755,15 +746,27 @@ func (r *Replica) onStatusPending(st *message.StatusPending) {
 		} else {
 			r.sendRaw(st.Replica, r.vc.newView)
 		}
-		for id, vc := range r.vc.forView {
-			if getBit(st.VCs, int(id)) {
-				continue
-			}
-			if id == r.id {
-				r.resendOwn(st.Replica, vc)
-			} else {
-				r.sendRaw(st.Replica, vc)
-			}
+		r.sendMissingViewChanges(st.Replica, st.VCs)
+	}
+}
+
+// sendMissingViewChanges ships every collected view-change the peer's
+// status bitmap lacks, in ascending sender order: the sends reach the wire,
+// so iteration must not follow map order (seeded runs replay bit-identically
+// only if retransmission order is a pure function of state).
+func (r *Replica) sendMissingViewChanges(dst message.NodeID, have []byte) {
+	ids := make([]message.NodeID, 0, len(r.vc.forView))
+	for id := range r.vc.forView {
+		if !getBit(have, int(id)) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if vc := r.vc.forView[id]; id == r.id {
+			r.resendOwn(dst, vc)
+		} else {
+			r.sendRaw(dst, vc)
 		}
 	}
 }

@@ -9,7 +9,13 @@ import (
 	"repro/internal/message"
 )
 
-// vcState holds all view-change bookkeeping (§3.2.4).
+// vcState holds all view-change bookkeeping (§3.2.4). It outlives every
+// message handler that populates it, so slices and maps taken from inbound
+// messages must be deep-copied before they land here — the PR 2 qset
+// aliasing bug stored a caller's slice directly and a later in-place sort
+// corrupted the sender's message. bftalias enforces the copy.
+//
+// bftlint:longlived
 type vcState struct {
 	// pending is true between sending a view-change and accepting the
 	// corresponding new-view.

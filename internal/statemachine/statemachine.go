@@ -11,6 +11,8 @@ package statemachine
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/message"
@@ -56,7 +58,11 @@ type Service interface {
 // replica event loop on the serial path, or the stage-3 executor goroutine
 // once Config.Opt.ExecPipeline hands execution off (other goroutines may
 // then touch it only inside executor Sync rendezvous). The mutGuard below
-// turns a violated handoff into a panic even without the race detector.
+// turns a violated handoff into a panic even without the race detector;
+// the owner annotation lets bftowner report the same violations at build
+// time.
+//
+// bftlint:owner=executor
 type Region struct {
 	pageSize int
 	data     []byte
@@ -66,8 +72,12 @@ type Region struct {
 	onModify func(page int)
 	// mutGuard is a cheap single-mutator assertion: every mutation
 	// announcement CASes it 0->1 and back, so two goroutines mutating
-	// concurrently trip the panic with high probability.
-	mutGuard atomic.Int32
+	// concurrently trip the panic with high probability. mutHolder records
+	// the current mutator's call site (best effort — stored just after the
+	// CAS) so the panic can name both parties; bftowner reports the same
+	// violations statically.
+	mutGuard  atomic.Int32
+	mutHolder atomic.Uintptr
 }
 
 // NewRegion allocates a region of size bytes divided into pageSize pages.
@@ -100,14 +110,51 @@ func (r *Region) Size() int { return len(r.data) }
 func (r *Region) SetOnModify(f func(page int)) { r.onModify = f }
 
 // beginMut asserts this goroutine is the Region's sole mutator right now;
-// endMut releases the assertion.
+// endMut releases the assertion. On violation the panic names both call
+// sites — the losing one and (best effort) the one currently holding the
+// guard — so the runtime diagnostic cross-references the static bftowner
+// report.
 func (r *Region) beginMut() {
 	if !r.mutGuard.CompareAndSwap(0, 1) {
-		panic("statemachine: concurrent Region mutation (single-owner contract violated)")
+		panic(fmt.Sprintf(
+			"statemachine: concurrent Region mutation (single-owner contract violated): %s raced %s",
+			mutSite(mutCallerPC()), mutSite(r.mutHolder.Load())))
 	}
+	r.mutHolder.Store(mutCallerPC())
 }
 
 func (r *Region) endMut() { r.mutGuard.Store(0) }
+
+// pkgPrefix identifies this package's frames when walking the stack for
+// the first external caller.
+const pkgPrefix = "repro/internal/statemachine."
+
+// mutCallerPC returns the return PC of the first stack frame outside this
+// package: the service or executor call site that entered the Region.
+func mutCallerPC() uintptr {
+	var pcs [8]uintptr
+	n := runtime.Callers(2, pcs[:])
+	for _, pc := range pcs[:n] {
+		fn := runtime.FuncForPC(pc - 1)
+		if fn == nil || !strings.HasPrefix(fn.Name(), pkgPrefix) {
+			return pc
+		}
+	}
+	return 0
+}
+
+// mutSite formats a PC captured by mutCallerPC as "func (file:line)".
+func mutSite(pc uintptr) string {
+	if pc == 0 {
+		return "unknown call site"
+	}
+	fn := runtime.FuncForPC(pc - 1)
+	if fn == nil {
+		return "unknown call site"
+	}
+	file, line := fn.FileLine(pc - 1)
+	return fmt.Sprintf("%s (%s:%d)", fn.Name(), file, line)
+}
 
 // Modify declares that [off, off+n) is about to be written. Services must
 // call it before mutating state, exactly like the thesis's Byz_modify.

@@ -26,8 +26,12 @@ type Transport interface {
 	// Self returns this endpoint's principal id.
 	Self() message.NodeID
 	// Send transmits one datagram to dst.
+	//
+	// bftlint:send
 	Send(dst message.NodeID, payload []byte)
 	// Multicast transmits one datagram to every id in dsts.
+	//
+	// bftlint:send
 	Multicast(dsts []message.NodeID, payload []byte)
 	// Close detaches the endpoint.
 	Close()
@@ -48,9 +52,15 @@ type Transport interface {
 type Multicaster interface {
 	// MulticastOwned behaves like Transport.Multicast with the ownership
 	// contract above.
+	//
+	// bftlint:send
+	// bftlint:consumes=payload
 	MulticastOwned(dsts []message.NodeID, payload []byte, release func([]byte))
 	// SendOwned behaves like Transport.Send with the ownership contract
 	// above.
+	//
+	// bftlint:send
+	// bftlint:consumes=payload
 	SendOwned(dst message.NodeID, payload []byte, release func([]byte))
 }
 
@@ -58,6 +68,9 @@ type Multicaster interface {
 // network and the UDP address book both provide it.
 type Network interface {
 	// Attach registers an endpoint that receives datagrams through h and
-	// returns its sending half.
+	// returns its sending half. The handler runs on the network's receive
+	// goroutine, never the caller's.
+	//
+	// bftlint:runs=worker
 	Attach(id message.NodeID, h Handler) Transport
 }
