@@ -78,6 +78,13 @@ const (
 // depth). It is a plain value — reading it never perturbs the replica.
 type Metrics = pbft.Metrics
 
+// SumMetrics folds any set of Metrics snapshots (replicas, groups, whole
+// shards) into one rollup: event counters add, backlog gauges add,
+// "last observed" durations and the adaptive batch target take the max,
+// and BatchFillAvg is recomputed from the summed proposal tallies.
+// Metrics.Merge is the in-place form.
+func SumMetrics(snaps ...Metrics) Metrics { return pbft.SumMetrics(snaps...) }
+
 // Digest is a SHA-256 state or message digest.
 type Digest = crypto.Digest
 

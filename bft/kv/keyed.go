@@ -1,0 +1,90 @@
+package kv
+
+// Keyed-store surface: the sharded-deployment face of the demo service.
+// A bft/sharded cluster replicates KeyedFactory in every group and routes
+// each operation to the group owning its key (KeyOf); the Tx* ops are the
+// building blocks of the cross-shard two-phase write protocol — see
+// bft/sharded for the coordinator that drives them.
+
+import (
+	"repro/internal/kvservice"
+	"repro/internal/statemachine"
+)
+
+// MinKeyedStateSize is the smallest Options.StateSize that fits the keyed
+// store's layout; larger regions hold proportionally more keys.
+const MinKeyedStateSize = kvservice.MinKeyedStateSize
+
+// Key/value size caps of the keyed store.
+const (
+	MaxKeyLen   = kvservice.MaxKeyLen
+	MaxValueLen = kvservice.MaxValueLen
+)
+
+// Status is the first byte of every keyed-store reply.
+type Status = kvservice.Status
+
+// Keyed-store reply statuses.
+const (
+	StatusOK        = kvservice.StatusOK
+	StatusNotFound  = kvservice.StatusNotFound
+	StatusBusy      = kvservice.StatusBusy
+	StatusCommitted = kvservice.StatusCommitted
+	StatusAborted   = kvservice.StatusAborted
+	StatusUnknown   = kvservice.StatusUnknown
+	StatusFull      = kvservice.StatusFull
+	StatusBad       = kvservice.StatusBad
+)
+
+// KeyedFactory builds the keyed store; pass it to bft.NewReplica,
+// bft.NewCluster, or (usually) sharded.New.
+func KeyedFactory(r *statemachine.Region) statemachine.Service {
+	return kvservice.KeyedFactory(r)
+}
+
+// TxKV is one staged write of a TxLock operation.
+type TxKV = kvservice.TxKV
+
+// Put encodes a single-key write. now is the caller's wall clock in
+// nanoseconds; it only advances the store's lease frame (lock TTLs), it
+// never affects the value written.
+func Put(now uint64, key, val []byte) []byte { return kvservice.KPut(now, key, val) }
+
+// GetKey encodes a read-only fetch of one key (invoke with bft.ReadOnly
+// for the single-round-trip quorum read).
+func GetKey(key []byte) []byte { return kvservice.KGet(key) }
+
+// TxLock encodes phase 1 of a cross-shard write for one group: lock and
+// stage every listed key under txid with a TTL lease, recording the tx's
+// home group for coordinator recovery.
+func TxLock(now, txid uint64, home uint32, ttl uint64, kvs []TxKV) []byte {
+	return kvservice.TxLock(now, txid, home, ttl, kvs)
+}
+
+// TxCommit encodes phase 2: apply txid's staged writes and release.
+func TxCommit(now, txid uint64) []byte { return kvservice.TxCommit(now, txid) }
+
+// TxAbort encodes the release path; force aborts even inside the lease
+// (a coordinator abandoning its own tx), while force=false is the
+// recovery form that refuses until the TTL passes.
+func TxAbort(now, txid uint64, force bool) []byte { return kvservice.TxAbort(now, txid, force) }
+
+// TxStatus encodes the read-only outcome probe for txid.
+func TxStatus(txid uint64) []byte { return kvservice.TxStatus(txid) }
+
+// DecodeStatus reads the status byte of any keyed-store reply.
+func DecodeStatus(res []byte) Status { return kvservice.DecodeStatus(res) }
+
+// DecodeValue decodes a successful GetKey reply.
+func DecodeValue(res []byte) ([]byte, bool) { return kvservice.DecodeValue(res) }
+
+// BusyInfo is the lock-holder identity carried by a StatusBusy reply.
+type BusyInfo = kvservice.BusyInfo
+
+// DecodeBusy decodes the holder identity from a StatusBusy reply.
+func DecodeBusy(res []byte) (BusyInfo, bool) { return kvservice.DecodeBusy(res) }
+
+// KeyOf extracts the routing key of a keyed-store op: the key of a
+// Put/GetKey, or the first key of a TxLock. Tx finish/status ops are
+// routed by group, not key, and return false.
+func KeyOf(op []byte) ([]byte, bool) { return kvservice.KeyOf(op) }

@@ -1,0 +1,175 @@
+// Package sharded scales bft/kv horizontally: a Cluster runs k
+// INDEPENDENT PBFT groups — each a full 3f+1 replica group built with the
+// per-node API (bft.NewReplica over its own bft.Network) — and a Client
+// routes every single-key operation to the group owning its key via a
+// deterministic consistent-hash ring (internal/shardmap). Groups never
+// talk to each other: aggregate throughput grows with k because each
+// group runs its own primary, its own agreement pipeline, and its own
+// batching, while per-key linearizability is untouched — one key lives in
+// exactly one group's op order.
+//
+// Cross-shard writes are the one place coordination is needed, and the
+// coordinator is the CLIENT, not the groups: PutMulti runs a two-phase
+// lock/commit protocol whose every step is an ordinary ordered op inside
+// a participating group (kv.TxLock / kv.TxCommit / kv.TxAbort on the
+// keyed store). Locks carry a TTL lease and name the transaction's home
+// group — the lowest participating shard — whose op order serializes the
+// commit-vs-abort decision. A crashed coordinator therefore cannot wedge
+// a key past the TTL: any blocked client resolves the stale holder
+// through its home group (abort there if uncommitted, else propagate the
+// commit) and moves on. See README §Sharding for the protocol argument.
+//
+// Reads take no locks: Get is the §5.1.3 quorum read inside the owning
+// group, and MultiGet fans per-key quorum reads across the owning groups.
+package sharded
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/bft"
+	"repro/internal/shardmap"
+)
+
+// Options configures a sharded cluster. The zero value is a sensible
+// 2-shard simulation setup; Group carries the per-group bft.Options.
+type Options struct {
+	// Shards is k, the number of independent PBFT groups. Default 2.
+	Shards int
+	// VirtualNodes is the consistent-hash ring's per-shard virtual-node
+	// count. Default shardmap.DefaultVirtualNodes (128).
+	VirtualNodes int
+	// PoolSize is the number of client principals per shard pool — the
+	// per-shard in-flight limit (one op in flight per principal, §2.3.2).
+	// Default 16.
+	PoolSize int
+	// LockTTL is the cross-shard lock lease. A transaction whose
+	// coordinator disappears holds its keys at most this long before any
+	// blocked client may resolve it through the home group. Default 3s.
+	LockTTL time.Duration
+	// Group configures each PBFT group (replica count, state size, link
+	// behavior via Seed, ...). Seed is varied per group so k simulated
+	// groups do not run in lockstep.
+	Group bft.Options
+	// NetworkFactory supplies the transport for each group — any
+	// bft.Network; the caller keeps ownership of networks it returns.
+	// Nil means a fresh simulated network per group, owned (and closed)
+	// by the cluster.
+	NetworkFactory func(group int) bft.Network
+}
+
+func (o Options) shards() int {
+	if o.Shards == 0 {
+		return 2
+	}
+	return o.Shards
+}
+
+func (o Options) poolSize() int {
+	if o.PoolSize == 0 {
+		return 16
+	}
+	return o.PoolSize
+}
+
+func (o Options) lockTTL() time.Duration {
+	if o.LockTTL == 0 {
+		return 3 * time.Second
+	}
+	return o.LockTTL
+}
+
+// Cluster is k independent PBFT groups behind one consistent-hash ring.
+// Construct with New, then Start; hand out routing clients with
+// NewClient. Group exposes each underlying bft.Cluster for fault
+// injection and direct (single-group) clients in tests.
+type Cluster struct {
+	opts Options
+	// bftlint:owner=shared (ring, groups, pools: immutable after New —
+	// every routing client reads them lock-free)
+	ring   *shardmap.Ring
+	groups []*bft.Cluster
+	pools  []*bft.ClientPool
+	// txSeq feeds deterministic, process-unique transaction ids to every
+	// coordinator attached to this cluster (see Client.nextTx).
+	txSeq atomic.Uint64
+}
+
+// New builds (but does not start) a cluster of opts.Shards groups, each
+// replicating its own instance of the service. For the cross-shard
+// Put/Get/PutMulti/MultiGet surface the service must be kv.KeyedFactory
+// (or wrap it); InvokeContext-level routing only needs ops kv.KeyOf can
+// extract a key from.
+func New(opts Options, svc bft.ServiceFactory) *Cluster {
+	if opts.Shards < 0 {
+		panic("sharded: Shards must not be negative")
+	}
+	k := opts.shards()
+	c := &Cluster{
+		opts: opts,
+		ring: shardmap.New(k, opts.VirtualNodes),
+	}
+	for g := 0; g < k; g++ {
+		gopts := opts.Group
+		// De-correlate the groups' simulated networks and engine PRNGs:
+		// k groups with one seed would replay identical loss/jitter draws.
+		gopts.Seed += int64(g) * 7919
+		var copts []bft.ClusterOption
+		if opts.NetworkFactory != nil {
+			copts = append(copts, bft.WithNetwork(opts.NetworkFactory(g)))
+		}
+		grp := bft.NewCluster(gopts, svc, copts...)
+		c.groups = append(c.groups, grp)
+		c.pools = append(c.pools, grp.NewClientPool(opts.poolSize()))
+	}
+	return c
+}
+
+// Start launches every replica of every group.
+func (c *Cluster) Start() {
+	for _, g := range c.groups {
+		g.Start()
+	}
+}
+
+// Stop stops every group (replicas, pools, clients) and closes the
+// networks the cluster created.
+func (c *Cluster) Stop() {
+	for _, g := range c.groups {
+		g.Stop()
+	}
+}
+
+// Shards returns k, the number of groups.
+func (c *Cluster) Shards() int { return len(c.groups) }
+
+// Owner returns the shard owning key — the ring's answer, exposed so
+// tests and tools can audit placement.
+func (c *Cluster) Owner(key []byte) int { return c.ring.Owner(key) }
+
+// Group returns shard g's underlying bft.Cluster: use it for fault
+// injection (Isolate, Partition, Recover) and for direct single-group
+// clients in tests.
+func (c *Cluster) Group(g int) *bft.Cluster { return c.groups[g] }
+
+// Metrics is the sharded deployment's observability rollup: Total merges
+// every replica of every group (bft.SumMetrics semantics) and Shards
+// holds one per-group rollup in shard order.
+type Metrics struct {
+	Total  bft.Metrics
+	Shards []bft.Metrics
+}
+
+// Metrics snapshots every replica of every group and aggregates.
+func (c *Cluster) Metrics() Metrics {
+	m := Metrics{Shards: make([]bft.Metrics, len(c.groups))}
+	for g, grp := range c.groups {
+		snaps := make([]bft.Metrics, grp.Replicas())
+		for i := range snaps {
+			snaps[i] = grp.Replica(i).Metrics()
+		}
+		m.Shards[g] = bft.SumMetrics(snaps...)
+	}
+	m.Total = bft.SumMetrics(m.Shards...)
+	return m
+}

@@ -1,0 +1,314 @@
+package sharded
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/bft"
+	"repro/bft/kv"
+)
+
+func testCluster(t *testing.T, shards int, mut func(*Options)) *Cluster {
+	t.Helper()
+	opts := Options{
+		Shards:   shards,
+		PoolSize: 4,
+		Group: bft.Options{
+			Replicas: 4,
+			Seed:     42,
+		},
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	c := New(opts, kv.KeyedFactory)
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// keyOn returns a key the ring places on the wanted shard.
+func keyOn(t *testing.T, c *Cluster, shard int, salt string) []byte {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("%s-%d", salt, i))
+		if c.Owner(k) == shard {
+			return k
+		}
+	}
+	t.Fatalf("no key found for shard %d", shard)
+	return nil
+}
+
+func TestSingleKeyOpsLandOnOwningGroupOnly(t *testing.T) {
+	c := testCluster(t, 3, nil)
+	ctx := testCtx(t)
+	cl := c.NewClient()
+
+	keys := make([][]byte, 0, 9)
+	for g := 0; g < c.Shards(); g++ {
+		for j := 0; j < 3; j++ {
+			keys = append(keys, keyOn(t, c, g, fmt.Sprintf("own%d%d", g, j)))
+		}
+	}
+	for i, k := range keys {
+		if err := cl.Put(ctx, k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+
+	// Ask every group directly: the value must exist on the owning group
+	// and on NO other — single-key ops never leak across the ring.
+	for i, k := range keys {
+		owner := c.Owner(k)
+		for g := 0; g < c.Shards(); g++ {
+			direct := c.Group(g).NewClient()
+			res, err := direct.Invoke(ctx, kv.GetKey(k), bft.ReadOnly)
+			if err != nil {
+				t.Fatalf("direct get on group %d: %v", g, err)
+			}
+			st := kv.DecodeStatus(res)
+			if g == owner && st != kv.StatusOK {
+				t.Fatalf("key %q missing on its owner group %d: status %d", k, g, st)
+			}
+			if g != owner && st != kv.StatusNotFound {
+				t.Fatalf("key %q leaked to group %d (owner %d): status %d", k, g, owner, st)
+			}
+			if g == owner {
+				if v, _ := kv.DecodeValue(res); !bytes.Equal(v, []byte(fmt.Sprintf("v%d", i))) {
+					t.Fatalf("key %q = %q on owner", k, v)
+				}
+			}
+		}
+	}
+
+	// Reads route the same way, and the round-trip value survives.
+	for i, k := range keys {
+		v, found, err := cl.Get(ctx, k)
+		if err != nil || !found || !bytes.Equal(v, []byte(fmt.Sprintf("v%d", i))) {
+			t.Fatalf("get %q = %q found=%v err=%v", k, v, found, err)
+		}
+	}
+
+	// Ops without a routing key are refused, not misrouted.
+	if _, err := cl.InvokeContext(ctx, kv.TxStatus(1), true); err != ErrNoKey {
+		t.Fatalf("keyless op: err = %v, want ErrNoKey", err)
+	}
+}
+
+func TestPutMultiCrossShard(t *testing.T) {
+	c := testCluster(t, 2, nil)
+	ctx := testCtx(t)
+	cl := c.NewClient()
+
+	k0 := keyOn(t, c, 0, "pm")
+	k1 := keyOn(t, c, 1, "pm")
+	writes := []kv.TxKV{{Key: k0, Val: []byte("left")}, {Key: k1, Val: []byte("right")}}
+	if err := cl.PutMulti(ctx, writes); err != nil {
+		t.Fatalf("PutMulti: %v", err)
+	}
+	vals, found, err := cl.MultiGet(ctx, [][]byte{k0, k1})
+	if err != nil || !found[0] || !found[1] {
+		t.Fatalf("MultiGet: %v %v", found, err)
+	}
+	if !bytes.Equal(vals[0], []byte("left")) || !bytes.Equal(vals[1], []byte("right")) {
+		t.Fatalf("MultiGet = %q", vals)
+	}
+
+	// Single-shard PutMulti works too (degenerate one-participant tx).
+	if err := cl.PutMulti(ctx, []kv.TxKV{{Key: k0, Val: []byte("solo")}}); err != nil {
+		t.Fatalf("single-shard PutMulti: %v", err)
+	}
+	if v, _, _ := cl.Get(ctx, k0); !bytes.Equal(v, []byte("solo")) {
+		t.Fatalf("k0 = %q", v)
+	}
+}
+
+func TestCrossShardWriteSurvivesPrimaryKill(t *testing.T) {
+	c := testCluster(t, 2, nil)
+	ctx := testCtx(t)
+	cl := c.NewClient()
+
+	k0 := keyOn(t, c, 0, "pk")
+	k1 := keyOn(t, c, 1, "pk")
+	victim := c.Owner(k1) // the non-home participant
+
+	// Mid-two-phase fault: the instant the victim group's lock is ordered,
+	// isolate its primary. The commit that follows must ride the group's
+	// view change — atomicity may not depend on any primary staying up.
+	killed := false
+	cl.hookLocked = func(shard int) {
+		if shard == victim && !killed {
+			killed = true
+			if err := c.Group(victim).Isolate(0); err != nil {
+				t.Errorf("isolate: %v", err)
+			}
+		}
+	}
+	writes := []kv.TxKV{{Key: k0, Val: []byte("A")}, {Key: k1, Val: []byte("B")}}
+	if err := cl.PutMulti(ctx, writes); err != nil {
+		t.Fatalf("PutMulti across primary kill: %v", err)
+	}
+	if !killed {
+		t.Fatal("test premise broken: hook never fired for the victim group")
+	}
+
+	// Atomic: both keys committed, exactly the staged values.
+	for i, k := range [][]byte{k0, k1} {
+		v, found, err := cl.Get(ctx, k)
+		if err != nil || !found {
+			t.Fatalf("get %q: found=%v err=%v", k, found, err)
+		}
+		if want := []byte{byte('A' + i)}; !bytes.Equal(v, want) {
+			t.Fatalf("key %q = %q, want %q", k, v, want)
+		}
+	}
+	if v := c.Group(victim).Replica(1).View(); v == 0 {
+		t.Errorf("victim group never changed view; the kill did not bite")
+	}
+
+	// Exactly-once: the decision is recorded on both groups, and replaying
+	// phase 2 only replays the recorded outcome.
+	txid := c.txSeq.Load() // the last id handed out — the committed tx
+	for g := 0; g < c.Shards(); g++ {
+		res, err := cl.shard(ctx, g, kv.TxCommit(cl.now(), txid), false)
+		if err != nil {
+			t.Fatalf("re-commit on group %d: %v", g, err)
+		}
+		if st := kv.DecodeStatus(res); st != kv.StatusCommitted {
+			t.Fatalf("re-commit on group %d: status %d, want Committed", g, st)
+		}
+	}
+}
+
+func TestCoordinatorCrashUnwedgesPastTTL(t *testing.T) {
+	const ttl = 300 * time.Millisecond
+	c := testCluster(t, 2, func(o *Options) { o.LockTTL = ttl })
+	ctx := testCtx(t)
+
+	k0 := keyOn(t, c, 0, "cc")
+	k1 := keyOn(t, c, 1, "cc")
+
+	// A coordinator locks both shards (home = shard of k0's group walk
+	// order: ascending, so group 0) ... and vanishes before phase 2.
+	dead := c.NewClient()
+	txid := dead.nextTx()
+	home := uint32(0)
+	for _, lock := range []struct {
+		shard int
+		key   []byte
+	}{{0, k0}, {1, k1}} {
+		res, err := dead.shard(ctx, lock.shard, kv.TxLock(dead.now(), txid, home, uint64(ttl.Nanoseconds()),
+			[]kv.TxKV{{Key: lock.key, Val: []byte("never")}}), false)
+		if err != nil || kv.DecodeStatus(res) != kv.StatusOK {
+			t.Fatalf("lock shard %d: %v status %d", lock.shard, err, kv.DecodeStatus(res))
+		}
+	}
+
+	// Another client writing the non-home key blocks on the stale lock,
+	// resolves it through the HOME group once the TTL lapses, and succeeds.
+	cl := c.NewClient()
+	start := time.Now()
+	if err := cl.Put(ctx, k1, []byte("alive")); err != nil {
+		t.Fatalf("put against stale lock: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("recovery took %v", elapsed)
+	}
+	if v, _, _ := cl.Get(ctx, k1); !bytes.Equal(v, []byte("alive")) {
+		t.Fatalf("k1 = %q", v)
+	}
+
+	// The home key is unlocked by the same resolution (abort released it
+	// everywhere it is driven); a plain put must go straight through.
+	if err := cl.Put(ctx, k0, []byte("also alive")); err != nil {
+		t.Fatalf("put home key after recovery: %v", err)
+	}
+	// The crashed tx's value leaked nowhere.
+	if v, _, _ := cl.Get(ctx, k0); bytes.Equal(v, []byte("never")) {
+		t.Fatal("aborted transaction's staged value became visible")
+	}
+
+	// The late coordinator coming back finds its tx dead on both shards:
+	// commit is refused with the recorded outcome, never applied.
+	for g := 0; g < c.Shards(); g++ {
+		res, err := dead.shard(ctx, g, kv.TxCommit(dead.now(), txid), false)
+		if err != nil {
+			t.Fatalf("late commit on group %d: %v", g, err)
+		}
+		if st := kv.DecodeStatus(res); st != kv.StatusAborted {
+			t.Fatalf("late commit on group %d: status %d, want Aborted", g, st)
+		}
+	}
+}
+
+func TestContendingPutMultisSettle(t *testing.T) {
+	// Two coordinators racing over the same cross-shard key set must both
+	// complete (ascending lock order prevents deadlock; Busy resolution
+	// waits out live leases) and leave one of the two write sets, intact.
+	c := testCluster(t, 2, func(o *Options) { o.LockTTL = time.Second })
+	ctx := testCtx(t)
+	k0 := keyOn(t, c, 0, "race")
+	k1 := keyOn(t, c, 1, "race")
+
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			cl := c.NewClient()
+			tag := []byte{byte('X' + i)}
+			errs <- cl.PutMulti(ctx, []kv.TxKV{{Key: k0, Val: tag}, {Key: k1, Val: tag}})
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("contending PutMulti: %v", err)
+		}
+	}
+	cl := c.NewClient()
+	v0, _, err0 := cl.Get(ctx, k0)
+	v1, _, err1 := cl.Get(ctx, k1)
+	if err0 != nil || err1 != nil {
+		t.Fatalf("get: %v %v", err0, err1)
+	}
+	if !bytes.Equal(v0, v1) {
+		t.Fatalf("torn cross-shard write: k0=%q k1=%q", v0, v1)
+	}
+	if !bytes.Equal(v0, []byte("X")) && !bytes.Equal(v0, []byte("Y")) {
+		t.Fatalf("unexpected final value %q", v0)
+	}
+}
+
+func TestClusterMetricsRollup(t *testing.T) {
+	c := testCluster(t, 2, nil)
+	ctx := testCtx(t)
+	cl := c.NewClient()
+	for g := 0; g < c.Shards(); g++ {
+		if err := cl.Put(ctx, keyOn(t, c, g, "met"), []byte("v")); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	m := c.Metrics()
+	if len(m.Shards) != 2 {
+		t.Fatalf("shard breakdown has %d entries", len(m.Shards))
+	}
+	var sum uint64
+	for g, sm := range m.Shards {
+		if sm.RequestsExecuted == 0 {
+			t.Errorf("shard %d executed nothing", g)
+		}
+		sum += sm.RequestsExecuted
+	}
+	if m.Total.RequestsExecuted != sum {
+		t.Fatalf("rollup %d != per-shard sum %d", m.Total.RequestsExecuted, sum)
+	}
+}

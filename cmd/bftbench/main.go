@@ -22,10 +22,10 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (E1..E13) or 'all'")
 		scale   = flag.Int("scale", 1, "work multiplier (>=1)")
 		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonOut = flag.String("json", "", "write the machine-readable report of a JSON-capable experiment (E12) to this path")
+		jsonOut = flag.String("json", "", "write the machine-readable report of a JSON-capable experiment (E12, E13) to this path")
 	)
 	flag.Parse()
 
@@ -52,13 +52,24 @@ func main() {
 		specs = []experiments.Spec{s}
 	}
 
+	// The perf-trajectory experiments double as recorders: with -json they
+	// print their table AND persist a machine-readable report.
+	reporters := map[string]func(scale int) (*experiments.Table, interface{}){
+		"E12": func(scale int) (*experiments.Table, interface{}) {
+			t, rep := experiments.E12BatchingReport(scale)
+			return t, rep
+		},
+		"E13": func(scale int) (*experiments.Table, interface{}) {
+			t, rep := experiments.E13ShardingReport(scale)
+			return t, rep
+		},
+	}
+
 	for _, s := range specs {
 		fmt.Printf("--- %s: %s (reproduces %s) ---\n", s.ID, s.What, s.Paper)
 		start := time.Now()
-		if *jsonOut != "" && strings.EqualFold(s.ID, "E12") {
-			// E12 doubles as the batching perf-trajectory recorder: print the
-			// table and persist the machine-readable report.
-			t, rep := experiments.E12BatchingReport(*scale)
+		if reporter, ok := reporters[strings.ToUpper(s.ID)]; ok && *jsonOut != "" {
+			t, rep := reporter(*scale)
 			fmt.Println(t.String())
 			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {

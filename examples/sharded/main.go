@@ -1,0 +1,69 @@
+// Sharded: scale writes past one primary's pipeline by running several
+// independent PBFT groups behind a consistent-hash router. Single-key ops
+// go straight to the owning group; multi-key writes commit atomically
+// across groups with a two-phase protocol whose phases are ordinary
+// ordered ops — no internal packages, just repro/bft/sharded and the
+// keyed store in repro/bft/kv.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/bft/kv"
+	"repro/bft/sharded"
+)
+
+func main() {
+	// 3 groups × 4 replicas: each group tolerates 1 Byzantine fault and
+	// runs its own primary, its own view changes, its own pipeline.
+	cluster := sharded.New(sharded.Options{Shards: 3}, kv.KeyedFactory)
+	cluster.Start()
+	defer cluster.Stop()
+
+	client := cluster.NewClient()
+	ctx := context.Background()
+
+	// Single-key writes route to the owning group via the consistent-hash
+	// ring; every client computes the same owner with no coordination.
+	keys := [][]byte{[]byte("alice"), []byte("bob"), []byte("carol")}
+	for i, k := range keys {
+		if err := client.Put(ctx, k, []byte(fmt.Sprintf("balance=%d", 100*(i+1)))); err != nil {
+			log.Fatalf("put %s: %v", k, err)
+		}
+		fmt.Printf("put %-5s -> shard %d\n", k, cluster.Owner(k))
+	}
+
+	// Reads use the owning group's single-round-trip quorum path;
+	// MultiGet fans across groups concurrently.
+	vals, found, err := client.MultiGet(ctx, keys)
+	if err != nil {
+		log.Fatalf("multiget: %v", err)
+	}
+	for i, k := range keys {
+		fmt.Printf("get %-5s -> %q (found=%v)\n", k, vals[i], found[i])
+	}
+
+	// A cross-shard transfer: both writes commit atomically or neither
+	// does, even if a participating group changes primaries mid-protocol
+	// or the coordinating client dies (a later client unwedges the keys
+	// past the lock TTL through the transaction's home group).
+	err = client.PutMulti(ctx, []kv.TxKV{
+		{Key: []byte("alice"), Val: []byte("balance=50")},
+		{Key: []byte("bob"), Val: []byte("balance=250")},
+	})
+	if err != nil {
+		log.Fatalf("putmulti: %v", err)
+	}
+	vals, _, err = client.MultiGet(ctx, keys[:2])
+	if err != nil {
+		log.Fatalf("multiget: %v", err)
+	}
+	fmt.Printf("after transfer: alice=%q bob=%q\n", vals[0], vals[1])
+
+	// One rollup plus per-shard breakdown.
+	m := cluster.Metrics()
+	fmt.Printf("cluster: %d shards, %d batches proposed in total\n",
+		cluster.Shards(), m.Total.BatchesProposed)
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/bft"
+	"repro/bft/kv"
+	"repro/bft/sharded"
+	"repro/internal/workload"
+)
+
+// ShardingRow is one shard-count cell of the E13 scale-out sweep, shaped
+// for BENCH_sharding.json.
+type ShardingRow struct {
+	Shards    int     `json:"shards"`
+	Clients   int     `json:"clients"`
+	PerShard  int     `json:"pool_per_shard"`
+	OfferedHz float64 `json:"offered_rate_hz"`
+	Tput      float64 `json:"throughput_ops_s"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	FillAvg   float64 `json:"batch_fill_avg"`
+	Errors    int     `json:"errors"`
+}
+
+// ShardingReport is the machine-readable result of E13 — the repo's
+// TPS-vs-shard-count trajectory record (BENCH_sharding.json).
+type ShardingReport struct {
+	Experiment string        `json:"experiment"`
+	Rows       []ShardingRow `json:"rows"`
+	// SpeedupAt4 is aggregate throughput at k=4 over k=1 at the 100-client
+	// open-loop load point (acceptance floor: ≥ 2.5); SpeedupAt8 extends
+	// the curve to k=8 (expected to flatten once the offered load or the
+	// host CPU, not the per-group ceiling, binds).
+	SpeedupAt4 float64 `json:"speedup_at_4_shards"`
+	SpeedupAt8 float64 `json:"speedup_at_8_shards"`
+}
+
+// e13GroupOptions is the per-group configuration every shard count runs
+// with. The group pipeline is deliberately bounded (AgreementWindow 1 —
+// one batch of ≤ 8 in agreement at a time) over 5ms links — a
+// metro-area deployment, not a rack: a PBFT group's throughput ceiling
+// is roughly window × batch / round-latency, and provisioned
+// deployments bound both knobs to cap memory and tail latency. Holding
+// the per-group ceiling fixed and realistic is exactly what makes the
+// sweep measure SHARDING — k groups, k primaries, k pipelines — rather
+// than retuning a single group: every added group contributes its own
+// ~batch/round-trip of capacity until the shared host CPU binds.
+func e13GroupOptions() bft.Options {
+	return bft.Options{
+		Replicas:           4,
+		CheckpointInterval: 64,
+		LogWindow:          128,
+		AgreementWindow:    1,
+		BatchRequests:      8,
+		ViewChangeTimeout:  2 * time.Second,
+		RetryTimeout:       2 * time.Second,
+		MaxRetries:         8,
+		Seed:               13,
+	}
+}
+
+// E13Sharding sweeps shard count k ∈ {1,2,4,8} at n=4 replicas per group
+// under a fixed 100-client open-loop single-key write load. One group's
+// ceiling is a primary's pipeline; k independent groups multiply it until
+// the offered load (or the host's cores — this table is honest about
+// running every group on one machine) binds instead.
+func E13Sharding(scale int) []*Table {
+	t, _ := E13ShardingReport(scale)
+	return []*Table{t}
+}
+
+// E13ShardingReport runs E13 and also returns the machine-readable report.
+func E13ShardingReport(scale int) (*Table, *ShardingReport) {
+	duration := time.Duration(scale) * 1500 * time.Millisecond
+	const (
+		clients = 100
+		rate    = 3000.0
+		nKeys   = 256
+	)
+	t := &Table{
+		ID: "E13",
+		Title: fmt.Sprintf("sharded scale-out: aggregate put throughput vs shard count, n=4 per group, "+
+			"%d open-loop clients at %.0f/s offered", clients, rate),
+		Header: []string{"shards", "clients", "pool/shard", "offered/s", "tput/s",
+			"p50 ms", "p95 ms", "fill avg", "err"},
+	}
+	rep := &ShardingReport{Experiment: "E13"}
+	tputAt := map[int]float64{}
+
+	keys := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench-key-%04d", i))
+	}
+	val := make([]byte, 16)
+
+	for _, k := range []int{1, 2, 4, 8} {
+		perShard := (clients + k - 1) / k
+		cluster := sharded.New(sharded.Options{
+			Shards:   k,
+			PoolSize: perShard,
+			Group:    e13GroupOptions(),
+			NetworkFactory: func(g int) bft.Network {
+				return bft.SimNetwork(
+					bft.SimSeed(int64(13+101*g)),
+					bft.SimLinks(bft.LinkProfile{Latency: 5 * time.Millisecond}),
+				)
+			},
+		}, kv.KeyedFactory)
+		cluster.Start()
+		cl := cluster.NewClient()
+
+		// Give each run long enough past the arrival window to drain the
+		// open-loop backlog an over-offered configuration accumulates: the
+		// drain IS the measurement (completed ops over total elapsed ≈
+		// sustained capacity when offered > capacity, ≈ offered when not).
+		ctx, cancel := context.WithTimeout(context.Background(), duration+90*time.Second)
+		st := workload.RunOpenLoop(ctx, cl, rate, duration, func(i int) ([]byte, bool) {
+			return kv.Put(uint64(time.Now().UnixNano()), keys[i%nKeys], val), false
+		})
+		cancel()
+		fill := cluster.Metrics().Total.BatchFillAvg
+		cluster.Stop()
+
+		row := ShardingRow{
+			Shards:    k,
+			Clients:   clients,
+			PerShard:  perShard,
+			OfferedHz: float64(st.Offered) / st.Elapsed.Seconds(),
+			Tput:      st.Throughput(),
+			P50Ms:     float64(st.Median().Microseconds()) / 1000,
+			P95Ms:     float64(st.Percentile(95).Microseconds()) / 1000,
+			FillAvg:   fill,
+			Errors:    st.Errors,
+		}
+		tputAt[k] = row.Tput
+		rep.Rows = append(rep.Rows, row)
+		t.Add(fmt.Sprintf("%d", k), fmt.Sprintf("%d", clients), fmt.Sprintf("%d", perShard),
+			fmt.Sprintf("%.0f", row.OfferedHz), fmt.Sprintf("%.0f", row.Tput),
+			fmt.Sprintf("%.3f", row.P50Ms), fmt.Sprintf("%.3f", row.P95Ms),
+			fmt.Sprintf("%.2f", row.FillAvg), fmt.Sprintf("%d", row.Errors))
+	}
+
+	if tputAt[1] > 0 {
+		rep.SpeedupAt4 = tputAt[4] / tputAt[1]
+		rep.SpeedupAt8 = tputAt[8] / tputAt[1]
+	}
+	t.Note("aggregate throughput at 4 shards vs 1: x%.2f (target ≥ 2.5)", rep.SpeedupAt4)
+	t.Note("aggregate throughput at 8 shards vs 1: x%.2f", rep.SpeedupAt8)
+	t.Note("one group's ceiling ≈ window×batch/round-latency; k independent groups multiply it until offered load or host CPU binds (all groups share this machine)")
+	return t, rep
+}

@@ -1,0 +1,219 @@
+package kvservice
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/statemachine"
+)
+
+func newKeyed(t testing.TB) *KeyedService {
+	t.Helper()
+	return NewKeyed(statemachine.NewRegion(MinKeyedStateSize, 1024))
+}
+
+func kstatus(t *testing.T, res []byte, want Status) {
+	t.Helper()
+	if got := DecodeStatus(res); got != want {
+		t.Fatalf("status = %v, want %v (res=%x)", got, want, res)
+	}
+}
+
+func TestKeyedPutGet(t *testing.T) {
+	s := newKeyed(t)
+	kstatus(t, s.Execute(cli, KPut(1, []byte("alpha"), []byte("one")), nil), StatusOK)
+	kstatus(t, s.Execute(cli, KPut(2, []byte("beta"), []byte("two")), nil), StatusOK)
+
+	v, ok := DecodeValue(s.Execute(cli, KGet([]byte("alpha")), nil))
+	if !ok || !bytes.Equal(v, []byte("one")) {
+		t.Fatalf("alpha = %q ok=%v", v, ok)
+	}
+	// Overwrite.
+	kstatus(t, s.Execute(cli, KPut(3, []byte("alpha"), []byte("uno")), nil), StatusOK)
+	if v, _ := DecodeValue(s.Execute(cli, KGet([]byte("alpha")), nil)); !bytes.Equal(v, []byte("uno")) {
+		t.Fatalf("alpha after overwrite = %q", v)
+	}
+	kstatus(t, s.Execute(cli, KGet([]byte("missing")), nil), StatusNotFound)
+}
+
+func TestKeyedExecuteTotal(t *testing.T) {
+	s := newKeyed(t)
+	for _, op := range [][]byte{nil, {}, {OpKPut}, {OpKGet}, {OpTxLock, 1}, {OpTxCommit}, {OpTxAbort}, {OpTxStatus}, {0xEE}} {
+		if got := DecodeStatus(s.Execute(cli, op, nil)); got != StatusBad {
+			t.Fatalf("op %x -> %v, want StatusBad", op, got)
+		}
+	}
+}
+
+func TestKeyedTableFull(t *testing.T) {
+	s := newKeyed(t)
+	n := s.Slots()
+	for i := 0; i < n; i++ {
+		kstatus(t, s.Execute(cli, KPut(1, []byte(fmt.Sprintf("k%04d", i)), []byte("v")), nil), StatusOK)
+	}
+	kstatus(t, s.Execute(cli, KPut(1, []byte("overflow"), []byte("v")), nil), StatusFull)
+	// Overwriting an existing key still works at capacity.
+	kstatus(t, s.Execute(cli, KPut(1, []byte("k0000"), []byte("w")), nil), StatusOK)
+}
+
+func TestKeyedTxCommitAppliesAtomically(t *testing.T) {
+	s := newKeyed(t)
+	kstatus(t, s.Execute(cli, KPut(1, []byte("a"), []byte("old")), nil), StatusOK)
+
+	kvs := []TxKV{{[]byte("a"), []byte("new")}, {[]byte("b"), []byte("fresh")}}
+	kstatus(t, s.Execute(cli, TxLock(10, 77, 0, 100, kvs), nil), StatusOK)
+
+	// Until commit, reads see the pre-tx state: a=old, b absent.
+	if v, _ := DecodeValue(s.Execute(cli, KGet([]byte("a")), nil)); !bytes.Equal(v, []byte("old")) {
+		t.Fatalf("a during lock = %q", v)
+	}
+	kstatus(t, s.Execute(cli, KGet([]byte("b")), nil), StatusNotFound)
+
+	// Locked keys refuse plain writers and name the holder.
+	res := s.Execute(cli, KPut(11, []byte("a"), []byte("race")), nil)
+	kstatus(t, res, StatusBusy)
+	if info, ok := DecodeBusy(res); !ok || info.Tx != 77 || info.Expiry != 110 {
+		t.Fatalf("busy info = %+v ok=%v", info, ok)
+	}
+
+	kstatus(t, s.Execute(cli, TxCommit(12, 77), nil), StatusCommitted)
+	if v, _ := DecodeValue(s.Execute(cli, KGet([]byte("a")), nil)); !bytes.Equal(v, []byte("new")) {
+		t.Fatalf("a after commit = %q", v)
+	}
+	if v, _ := DecodeValue(s.Execute(cli, KGet([]byte("b")), nil)); !bytes.Equal(v, []byte("fresh")) {
+		t.Fatalf("b after commit = %q", v)
+	}
+	// Idempotent: re-commit and late abort both answer the recorded outcome.
+	kstatus(t, s.Execute(cli, TxCommit(13, 77), nil), StatusCommitted)
+	kstatus(t, s.Execute(cli, TxAbort(14, 77, true), nil), StatusCommitted)
+}
+
+func TestKeyedTxAbortDiscards(t *testing.T) {
+	s := newKeyed(t)
+	kstatus(t, s.Execute(cli, KPut(1, []byte("a"), []byte("old")), nil), StatusOK)
+	kvs := []TxKV{{[]byte("a"), []byte("new")}, {[]byte("b"), []byte("fresh")}}
+	kstatus(t, s.Execute(cli, TxLock(10, 5, 0, 100, kvs), nil), StatusOK)
+	kstatus(t, s.Execute(cli, TxAbort(11, 5, true), nil), StatusAborted)
+
+	// Existing value survives; the insert reservation vanished entirely.
+	if v, _ := DecodeValue(s.Execute(cli, KGet([]byte("a")), nil)); !bytes.Equal(v, []byte("old")) {
+		t.Fatalf("a after abort = %q", v)
+	}
+	kstatus(t, s.Execute(cli, KGet([]byte("b")), nil), StatusNotFound)
+	// Both keys writable again.
+	kstatus(t, s.Execute(cli, KPut(12, []byte("a"), []byte("x")), nil), StatusOK)
+	kstatus(t, s.Execute(cli, KPut(12, []byte("b"), []byte("y")), nil), StatusOK)
+	// A late commit of the aborted tx is refused with the recorded outcome.
+	kstatus(t, s.Execute(cli, TxCommit(13, 5), nil), StatusAborted)
+	// And the tx can never lock again.
+	kstatus(t, s.Execute(cli, TxLock(14, 5, 0, 100, kvs), nil), StatusAborted)
+}
+
+func TestKeyedTxLockAllOrNothing(t *testing.T) {
+	s := newKeyed(t)
+	kstatus(t, s.Execute(cli, TxLock(10, 1, 0, 100, []TxKV{{[]byte("x"), []byte("1")}}), nil), StatusOK)
+
+	// tx 2 wants x (held) and y (free): must lock NEITHER.
+	res := s.Execute(cli, TxLock(11, 2, 0, 100, []TxKV{{[]byte("y"), []byte("2")}, {[]byte("x"), []byte("2")}}), nil)
+	kstatus(t, res, StatusBusy)
+	if info, _ := DecodeBusy(res); info.Tx != 1 {
+		t.Fatalf("busy holder = %d, want 1", info.Tx)
+	}
+	// y must still be writable by a plain put (tx 2 locked nothing).
+	kstatus(t, s.Execute(cli, KPut(12, []byte("y"), []byte("solo")), nil), StatusOK)
+}
+
+func TestKeyedTxRecoveryRespectsTTL(t *testing.T) {
+	s := newKeyed(t)
+	kstatus(t, s.Execute(cli, TxLock(100, 9, 3, 50, []TxKV{{[]byte("k"), []byte("v")}}), nil), StatusOK)
+
+	// Non-force abort inside the lease (expiry=150, now=120): refused Busy.
+	res := s.Execute(cli, TxAbort(120, 9, false), nil)
+	kstatus(t, res, StatusBusy)
+	info, _ := DecodeBusy(res)
+	if info.Expired() {
+		t.Fatalf("lease should be live at now=120: %+v", info)
+	}
+	if info.Home != 3 {
+		t.Fatalf("busy home = %d, want 3", info.Home)
+	}
+
+	// Past the TTL the same recovery abort succeeds and unlocks the key.
+	kstatus(t, s.Execute(cli, TxAbort(151, 9, false), nil), StatusAborted)
+	kstatus(t, s.Execute(cli, KPut(152, []byte("k"), []byte("w")), nil), StatusOK)
+}
+
+func TestKeyedTxAbortUnknownRecordsTombstone(t *testing.T) {
+	s := newKeyed(t)
+	// Resolving a tx this group never saw records Aborted...
+	kstatus(t, s.Execute(cli, TxAbort(10, 42, false), nil), StatusAborted)
+	// ...so a late lock or commit for it is dead on arrival.
+	kstatus(t, s.Execute(cli, TxLock(11, 42, 0, 100, []TxKV{{[]byte("z"), []byte("v")}}), nil), StatusAborted)
+	kstatus(t, s.Execute(cli, TxCommit(12, 42), nil), StatusAborted)
+	// Commit of an unknown tx does NOT record anything.
+	kstatus(t, s.Execute(cli, TxCommit(13, 43), nil), StatusUnknown)
+	kstatus(t, s.Execute(cli, TxStatus(43), nil), StatusUnknown)
+}
+
+func TestKeyedTxStatus(t *testing.T) {
+	s := newKeyed(t)
+	kstatus(t, s.Execute(cli, TxStatus(7), nil), StatusUnknown)
+	kstatus(t, s.Execute(cli, TxLock(10, 7, 1, 100, []TxKV{{[]byte("s"), []byte("v")}}), nil), StatusOK)
+	res := s.Execute(cli, TxStatus(7), nil)
+	kstatus(t, res, StatusBusy)
+	if info, _ := DecodeBusy(res); info.Tx != 7 || info.Home != 1 {
+		t.Fatalf("status busy info = %+v", info)
+	}
+	kstatus(t, s.Execute(cli, TxCommit(11, 7), nil), StatusCommitted)
+	kstatus(t, s.Execute(cli, TxStatus(7), nil), StatusCommitted)
+}
+
+func TestKeyedReadOnlyClassification(t *testing.T) {
+	s := newKeyed(t)
+	ro := map[bool][][]byte{
+		true:  {KGet([]byte("k")), TxStatus(1)},
+		false: {KPut(1, []byte("k"), []byte("v")), TxLock(1, 1, 0, 1, nil), TxCommit(1, 1), TxAbort(1, 1, false), nil},
+	}
+	for want, ops := range ro {
+		for _, op := range ops {
+			if s.IsReadOnly(op) != want {
+				t.Fatalf("IsReadOnly(%x) != %v", op, want)
+			}
+		}
+	}
+}
+
+func TestKeyedKeyOf(t *testing.T) {
+	cases := []struct {
+		op   []byte
+		key  string
+		want bool
+	}{
+		{KPut(9, []byte("router"), []byte("v")), "router", true},
+		{KGet([]byte("fetch")), "fetch", true},
+		{TxLock(9, 1, 0, 10, []TxKV{{[]byte("first"), []byte("v")}, {[]byte("second"), []byte("w")}}), "first", true},
+		{TxCommit(9, 1), "", false},
+		{TxAbort(9, 1, false), "", false},
+		{TxStatus(1), "", false},
+		{nil, "", false},
+	}
+	for _, c := range cases {
+		key, ok := KeyOf(c.op)
+		if ok != c.want || (ok && string(key) != c.key) {
+			t.Fatalf("KeyOf(%x) = %q,%v want %q,%v", c.op, key, ok, c.key, c.want)
+		}
+	}
+}
+
+func TestKeyedMaxNowMonotonic(t *testing.T) {
+	s := newKeyed(t)
+	// A lagging coordinator clock cannot rewind the lease frame: lock at
+	// now=100 with ttl=10, then a put carrying now=1 still sees the lease.
+	kstatus(t, s.Execute(cli, TxLock(100, 2, 0, 10, []TxKV{{[]byte("m"), []byte("v")}}), nil), StatusOK)
+	res := s.Execute(cli, KPut(1, []byte("m"), []byte("w")), nil)
+	kstatus(t, res, StatusBusy)
+	if info, _ := DecodeBusy(res); info.Now != 100 || info.Expired() {
+		t.Fatalf("lease frame rewound: %+v", info)
+	}
+}

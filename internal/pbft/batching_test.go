@@ -125,6 +125,45 @@ func TestAdaptiveBatchConverges(t *testing.T) {
 	})
 }
 
+func TestAdaptiveRampsUnderWindowPressure(t *testing.T) {
+	// Mid-load regression (BENCH_batching, 10 clients): the backlog is
+	// shorter than the agreement window, but the window itself is saturated.
+	// Dividing the queue by the WHOLE window pins desired at 1 and adaptive
+	// degenerates to serial agreement; the target must instead size batches
+	// for the outstanding demand (queued + in flight) over the free slots
+	// and ramp.
+	cfg := testConfig()
+	c := newTestCluster(t, 4, cfg, nil)
+	r := c.Replica(0)
+	r.do(func() {
+		w := r.cfg.Opt.AgreementWindow
+		for i := 0; i < w-2; i++ { // queue deep enough to matter, < window
+			req := &message.Request{Client: message.ClientIDBase + message.NodeID(200+i), Timestamp: 1, Op: make([]byte, 8)}
+			r.log.StoreRequest(req)
+			r.enqueueRequest(req)
+		}
+		// Saturate the window: every slot in flight, none executed.
+		saved := r.seqno
+		r.seqno = r.lastExec + message.Seq(w)
+		for i := 0; i < w; i++ {
+			r.fillTarget()
+		}
+		if got := r.batchTarget; got < 2 {
+			t.Errorf("fill target stuck at %d with a saturated window and %d queued; adaptive degenerates to serial", got, w-2)
+		}
+		// One free slot must absorb the whole outstanding demand (w-2
+		// queued + w-1 in flight) once ramped.
+		r.seqno = r.lastExec + message.Seq(w) - 1
+		for i := 0; i < 2*w; i++ {
+			r.fillTarget()
+		}
+		if got := r.batchTarget; got != 2*w-3 {
+			t.Errorf("fill target = %d, want the outstanding demand %d over the one free slot", got, 2*w-3)
+		}
+		r.seqno = saved
+	})
+}
+
 func TestBatchWaitFlushesPartialBatch(t *testing.T) {
 	// With fixed batching (fill target pinned at BatchRequests) and agreement
 	// latency well above BatchWait, requests arriving while a batch is in

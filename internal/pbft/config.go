@@ -74,12 +74,12 @@ type Options struct {
 	// then propose immediately, the pre-adaptive behavior).
 	BatchWait time.Duration
 	// AdaptiveBatch auto-tunes the effective batch fill target from
-	// observed queue depth: the target tracks ceil(queued / W) — drain the
-	// backlog in at most one agreement window of batches — with additive
-	// increase and multiplicative decrease, clamped to [1, BatchRequests].
-	// Light load gets per-request latency, heavy load gets amortized
-	// agreement, with no operator tuning. Off: batches always try to fill
-	// to BatchRequests.
+	// observed queue depth: the target tracks ceil(queued / free window
+	// slots) — drain the backlog into the agreement room actually left —
+	// with additive increase and multiplicative decrease, clamped to
+	// [1, BatchRequests]. Light load gets per-request latency, a saturated
+	// window gets amortized agreement, with no operator tuning. Off:
+	// batches always try to fill to BatchRequests.
 	AdaptiveBatch bool
 	// AgreementWindow bounds protocol instances running in parallel — the
 	// number of batches between the execution frontier and the newest

@@ -1,0 +1,61 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMetricsMergeSemantics(t *testing.T) {
+	a := Metrics{
+		RequestsExecuted: 100, BatchesExecuted: 10,
+		ViewChanges: 1, InboxDrops: 3,
+		LastTransferTime: 5 * time.Millisecond,
+		LastRecoveryTime: 2 * time.Second,
+		CkptDigestTime:   10 * time.Millisecond,
+		BatchesProposed:  10, RequestsProposed: 40, BatchFillAvg: 4.0,
+		QueueDepth: 7, BatchTarget: 4, ExecQueueDepth: 2,
+	}
+	b := Metrics{
+		RequestsExecuted: 50, BatchesExecuted: 25,
+		LastTransferTime: 9 * time.Millisecond,
+		LastRecoveryTime: 1 * time.Second,
+		CkptDigestTime:   15 * time.Millisecond,
+		BatchesProposed:  30, RequestsProposed: 40, BatchFillAvg: 1.33,
+		QueueDepth: 1, BatchTarget: 9, ExecQueueDepth: 5,
+	}
+	m := SumMetrics(a, b)
+
+	if m.RequestsExecuted != 150 || m.BatchesExecuted != 35 || m.ViewChanges != 1 || m.InboxDrops != 3 {
+		t.Fatalf("counters should add: %+v", m)
+	}
+	if m.QueueDepth != 8 || m.ExecQueueDepth != 7 {
+		t.Fatalf("backlog gauges should add: %+v", m)
+	}
+	if m.LastTransferTime != 9*time.Millisecond || m.LastRecoveryTime != 2*time.Second {
+		t.Fatalf("last-observed durations should take the max: %+v", m)
+	}
+	if m.CkptDigestTime != 25*time.Millisecond {
+		t.Fatalf("cumulative digest time should add: %v", m.CkptDigestTime)
+	}
+	if m.BatchTarget != 9 {
+		t.Fatalf("batch target should take the max: %d", m.BatchTarget)
+	}
+	// 80 requests over 40 batches = 2.0 — NOT the mean of 4.0 and 1.33.
+	if m.BatchFillAvg != 2.0 {
+		t.Fatalf("fill avg must be recomputed from totals: %v", m.BatchFillAvg)
+	}
+}
+
+func TestMetricsMergeZero(t *testing.T) {
+	var zero Metrics
+	if got := SumMetrics(); got != zero {
+		t.Fatalf("empty sum = %+v", got)
+	}
+	a := Metrics{RequestsProposed: 6, BatchesProposed: 2, BatchFillAvg: 3}
+	if got := SumMetrics(a, zero); got != a {
+		t.Fatalf("identity merge changed the snapshot: %+v", got)
+	}
+	if got := SumMetrics(zero); got.BatchFillAvg != 0 {
+		t.Fatalf("zero-batch fill avg must stay 0, got %v", got.BatchFillAvg)
+	}
+}

@@ -158,10 +158,11 @@ func (r *Replica) issueReady(deadline bool) {
 
 // fillTarget returns the batch-size target for the next proposal: 1 with
 // batching off, the hard cap BatchRequests with adaptive mode off. In
-// adaptive mode it AIMD-tracks the size needed to drain the current queue in
-// at most AgreementWindow batches — light load converges to 1 (latency),
-// heavy load grows toward BatchRequests (throughput) — clamped to [1,
-// BatchRequests].
+// adaptive mode it AIMD-tracks the size needed to fit the outstanding
+// demand — queued requests plus work already in agreement — into the
+// window's FREE slots: light load converges to 1 (latency), sustained
+// concurrency grows toward BatchRequests (throughput), clamped to
+// [1, BatchRequests].
 func (r *Replica) fillTarget() int {
 	if !r.cfg.Opt.Batching {
 		return 1
@@ -170,13 +171,35 @@ func (r *Replica) fillTarget() int {
 	if !r.cfg.Opt.AdaptiveBatch {
 		return max
 	}
-	w := r.cfg.Opt.AgreementWindow
-	desired := (r.queue.Len() + w - 1) / w
+	// Size batches so the OUTSTANDING demand — queued requests plus batches
+	// already in agreement — fits in the window slots still free. Queue
+	// depth alone is the mid-load failure mode: at ~10 closed-loop clients
+	// the window hovers just below full, every arrival sees queue≈1,
+	// ceil(queue/W) sits at 1, and adaptive degenerates to serial agreement
+	// right where batching should start paying (BENCH_batching.json,
+	// 2026-08: adaptive 1091 ops/s vs serial 1117 with fill avg pinned at
+	// 1.0). In-flight work is the steady-state concurrency signal: those
+	// clients re-request the moment they are answered, so a target that
+	// ignores them starves the next wave.
+	inflight := int(r.seqno - r.lastExec)
+	free := r.cfg.Opt.AgreementWindow - inflight
+	if free < 1 {
+		free = 1
+	}
+	desired := (r.queue.Len() + inflight + free - 1) / free
 	switch {
 	case desired > r.batchTarget:
 		r.batchTarget++ // additive increase under growing backlog
 	case desired < r.batchTarget:
-		r.batchTarget /= 2 // multiplicative decrease as the queue drains
+		if r.queue.Len() == 0 {
+			r.batchTarget /= 2 // load gone: collapse toward single-request latency
+		} else {
+			// Still loaded: desired jitters per arrival (a mid-load replica
+			// sees queue≈1 between window-full episodes), and halving on
+			// every dip thrashes the target back to 1 — the second half of
+			// the fill-avg-pinned-at-1.0 regression. Back off one step.
+			r.batchTarget--
+		}
 	}
 	if r.batchTarget < 1 {
 		r.batchTarget = 1

@@ -1,0 +1,113 @@
+package shardmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+// corpus returns nKeys deterministic test keys.
+func corpus(nKeys int) [][]byte {
+	keys := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%d", i))
+	}
+	return keys
+}
+
+func TestRingDeterminism(t *testing.T) {
+	a, b := New(4, 0), New(4, 0)
+	if a.VirtualNodes() != DefaultVirtualNodes {
+		t.Fatalf("vnodes default = %d", a.VirtualNodes())
+	}
+	for _, k := range corpus(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %q: %d vs %d", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	// Owners must be stable across calls (no internal mutation).
+	k := []byte("stability")
+	first := a.Owner(k)
+	for i := 0; i < 100; i++ {
+		if a.Owner(k) != first {
+			t.Fatal("Owner is not stable")
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 128 vnodes/shard the max/mean load ratio over a 20k-key corpus
+	// must stay tight; a broken hash or sort degenerates this immediately.
+	for _, shards := range []int{2, 4, 8} {
+		r := New(shards, 0)
+		counts := make([]int, shards)
+		keys := corpus(20000)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		mean := float64(len(keys)) / float64(shards)
+		for s, c := range counts {
+			if ratio := float64(c) / mean; ratio < 0.70 || ratio > 1.30 {
+				t.Errorf("shards=%d: shard %d holds %d keys (%.2fx mean; want within ±30%%)",
+					shards, s, c, ratio)
+			}
+		}
+	}
+}
+
+func TestRingMinimalRemapOnGrow(t *testing.T) {
+	// Growing k -> k+1: every moved key must move TO the new shard (no
+	// survivor-to-survivor churn), and the moved fraction must be near
+	// 1/(k+1) — the consistent-hashing contract.
+	keys := corpus(20000)
+	for _, k := range []int{1, 2, 4} {
+		old, grown := New(k, 0), New(k+1, 0)
+		moved := 0
+		for _, key := range keys {
+			a, b := old.Owner(key), grown.Owner(key)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != k {
+				t.Fatalf("k=%d: key %q moved %d -> %d, not to the new shard %d", k, key, a, b, k)
+			}
+		}
+		want := float64(len(keys)) / float64(k+1)
+		if f := float64(moved); f < 0.6*want || f > 1.4*want {
+			t.Errorf("k=%d->%d: %d keys moved, want ≈ %.0f (1/(k+1) of the space)", k, k+1, moved, want)
+		}
+	}
+}
+
+func TestRingMinimalRemapOnShrink(t *testing.T) {
+	// Shrinking k+1 -> k: only keys owned by the removed (highest) shard
+	// may move; everything else stays put.
+	keys := corpus(20000)
+	for _, k := range []int{1, 2, 4} {
+		big, small := New(k+1, 0), New(k, 0)
+		for _, key := range keys {
+			a, b := big.Owner(key), small.Owner(key)
+			if a != b && a != k {
+				t.Fatalf("k=%d->%d: key %q moved %d -> %d though its owner survived", k+1, k, key, a, b)
+			}
+		}
+	}
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r := New(1, 4)
+	for _, k := range corpus(100) {
+		if r.Owner(k) != 0 {
+			t.Fatal("single-shard ring must own everything")
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := New(8, 0)
+	keys := corpus(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(keys[i%len(keys)])
+	}
+}

@@ -180,32 +180,44 @@ func RunOpenLoop(ctx context.Context, inv ContextInvoker, rate float64, duration
 
 	i := 0
 inject:
-	for time.Now().Before(end) {
+	for {
+		now := time.Now()
+		if !now.Before(end) {
+			break
+		}
+		// Inject every arrival the nominal schedule owes by now (arrival i
+		// is due at start + i·interval). A busy host can starve this
+		// goroutine between ticks, and the ticker coalesces missed fires;
+		// without catch-up the "open-loop" rate silently degrades toward
+		// the completion rate — a closed loop in disguise.
+		due := int(now.Sub(start)/interval) + 1
+		for i < due {
+			op, ro := gen(i)
+			i++
+			if op == nil {
+				break inject
+			}
+			st.Offered++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				_, err := inv.InvokeContext(ctx, op, ro)
+				d := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					st.Errors++
+					return
+				}
+				st.Add(d)
+			}()
+		}
 		select {
 		case <-ticker.C:
 		case <-ctx.Done():
 			break inject
 		}
-		op, ro := gen(i)
-		i++
-		if op == nil {
-			break
-		}
-		st.Offered++
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t0 := time.Now()
-			_, err := inv.InvokeContext(ctx, op, ro)
-			d := time.Since(t0)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				st.Errors++
-				return
-			}
-			st.Add(d)
-		}()
 	}
 	wg.Wait()
 	st.Elapsed = time.Since(start)
