@@ -1,0 +1,113 @@
+package kvservice
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/statemachine"
+)
+
+// clampKV bounds fuzz-chosen keys and values to the encodable range the
+// op encoders and slot layout accept (1..MaxKeyLen, 0..MaxValueLen).
+func clampKV(key, val []byte) ([]byte, []byte) {
+	if len(key) == 0 {
+		key = []byte("k")
+	}
+	if len(key) > MaxKeyLen {
+		key = key[:MaxKeyLen]
+	}
+	if len(val) > MaxValueLen {
+		val = val[:MaxValueLen]
+	}
+	return key, val
+}
+
+func newFuzzKeyed() *KeyedService {
+	return NewKeyed(statemachine.NewRegion(MinKeyedStateSize, 1024))
+}
+
+// FuzzKeyedExecuteTotal feeds arbitrary operation bytes to the keyed
+// store: Execute is a total function over Byzantine input — it must never
+// panic and always return a status byte (malformed ops decode to
+// StatusBad, never to a crash).
+func FuzzKeyedExecuteTotal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(KPut(1, []byte("key"), []byte("val")))
+	f.Add(KGet([]byte("key")))
+	f.Add(TxLock(1, 42, 0, 1000, []TxKV{{Key: []byte("key"), Val: []byte("val")}}))
+	f.Add(TxCommit(2, 42))
+	f.Add(TxAbort(2, 42, true))
+	f.Add(TxStatus(42))
+	f.Fuzz(func(t *testing.T, op []byte) {
+		s := newFuzzKeyed()
+		res := s.Execute(0, op, nil)
+		if len(res) == 0 {
+			t.Fatalf("Execute returned empty result for %x", op)
+		}
+		if st := DecodeStatus(res); st > StatusBad {
+			t.Fatalf("Execute returned out-of-range status %d for %x", st, op)
+		}
+	})
+}
+
+// FuzzKeyedPutGetRoundTrip checks the keyed op encodings end to end: a
+// value written through the KPut encoding is returned bit-exact by the
+// KGet encoding.
+func FuzzKeyedPutGetRoundTrip(f *testing.F) {
+	f.Add(uint64(1), []byte("key"), []byte("val"))
+	f.Add(uint64(0), []byte{0xff}, []byte{})
+	f.Fuzz(func(t *testing.T, now uint64, key, val []byte) {
+		key, val = clampKV(key, val)
+		s := newFuzzKeyed()
+		if st := DecodeStatus(s.Execute(0, KPut(now, key, val), nil)); st != StatusOK {
+			t.Fatalf("KPut status %d", st)
+		}
+		res := s.Execute(0, KGet(key), nil)
+		got, ok := DecodeValue(res)
+		if !ok {
+			t.Fatalf("KGet after KPut: status %d", DecodeStatus(res))
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("round trip mismatch: put %x got %x", val, got)
+		}
+	})
+}
+
+// FuzzKeyedTxRoundTrip drives the two-phase encodings: lock stages the
+// write invisibly, commit publishes it, and the recorded outcome is
+// idempotently readable through TxStatus and TxAbort.
+func FuzzKeyedTxRoundTrip(f *testing.F) {
+	f.Add(uint64(7), []byte("key"), []byte("val"))
+	f.Add(uint64(0), []byte("k"), []byte{})
+	f.Fuzz(func(t *testing.T, txid uint64, key, val []byte) {
+		key, val = clampKV(key, val)
+		if txid == 0 {
+			txid = 1 // txid 0 is the reserved "unlocked" marker, rejected by design
+		}
+		s := newFuzzKeyed()
+		lock := TxLock(1, txid, 3, 1_000_000, []TxKV{{Key: key, Val: val}})
+		if st := DecodeStatus(s.Execute(0, lock, nil)); st != StatusOK {
+			t.Fatalf("TxLock status %d", st)
+		}
+		// Staged, not committed: the key must not be visible yet.
+		if st := DecodeStatus(s.Execute(0, KGet(key), nil)); st != StatusNotFound {
+			t.Fatalf("staged write visible before commit: status %d", st)
+		}
+		if st := DecodeStatus(s.Execute(0, TxCommit(2, txid), nil)); st != StatusCommitted {
+			t.Fatalf("TxCommit status %d", st)
+		}
+		res := s.Execute(0, KGet(key), nil)
+		got, ok := DecodeValue(res)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("committed value mismatch: ok=%v got %x want %x", ok, got, val)
+		}
+		if st := DecodeStatus(s.Execute(0, TxStatus(txid), nil)); st != StatusCommitted {
+			t.Fatalf("TxStatus after commit: %d", st)
+		}
+		// The outcome table makes finish idempotent: a late abort reports
+		// the recorded commit instead of releasing anything.
+		if st := DecodeStatus(s.Execute(0, TxAbort(3, txid, true), nil)); st != StatusCommitted {
+			t.Fatalf("TxAbort after commit: %d", st)
+		}
+	})
+}

@@ -1,0 +1,317 @@
+// Package deadlock implements bftsync, the rendezvous self-deadlock
+// analyzer of the bftlint suite.
+//
+// A `bftlint:rendezvous` function (executor.Sync, pbft's execSync) blocks
+// the calling goroutine until the executor goroutine runs the supplied
+// closure. That protocol has one fatal misuse: reaching a rendezvous FROM
+// the executor goroutine itself — the executor cannot serve a command it
+// is itself blocked on. The runtime catches the nested-Sync shape with a
+// CAS panic; this analyzer catches both shapes at build time:
+//
+//   - a function annotated `bftlint:entrypoint=executor` or
+//     `bftlint:runs=executor` (code that runs ON the executor goroutine)
+//     transitively calls a rendezvous;
+//   - a function literal passed to a rendezvous call (its body runs on the
+//     executor) transitively calls a rendezvous — "never call Sync from
+//     inside a Sync closure".
+//
+// Reachability crosses package boundaries via facts (a pbft closure calling
+// a helper that calls executor.Sync is caught), and diagnostics carry the
+// witness chain. Suppress a vetted site with `bftlint:allow=bftsync`.
+package deadlock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/lint/annot"
+)
+
+// Name is the analyzer name, used in `bftlint:allow=` suppressions.
+const Name = "bftsync"
+
+// Analyzer is the bftsync analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      Name,
+	Doc:       "flag rendezvous (Sync/execSync) calls reachable from the executor goroutine itself — the self-deadlock the runtime CAS panic catches only at runtime",
+	Run:       run,
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*RendFact)(nil), (*ReachFact)(nil)},
+}
+
+// RendFact marks a bftlint:rendezvous function.
+type RendFact struct{}
+
+func (*RendFact) AFact()         {}
+func (*RendFact) String() string { return "rendezvous" }
+
+// ReachFact marks a function that transitively calls a rendezvous,
+// recording one witness path for diagnostics.
+type ReachFact struct {
+	Desc  string   // the rendezvous reached, e.g. "Sync"
+	Chain []string // call path from the function to the rendezvous
+}
+
+func (*ReachFact) AFact()           {}
+func (f *ReachFact) String() string { return "reaches rendezvous " + f.Desc }
+
+type callRec struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// summary is one function's direct behavior: the first rendezvous it calls
+// and its outgoing static calls (function literals excluded — their bodies
+// run in a different dynamic context and are checked where they are passed).
+type summary struct {
+	rendDesc string
+	rendPos  token.Pos
+	calls    []callRec
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*summary
+	memo  map[*types.Func]*ReachFact
+	stack map[*types.Func]bool
+	rend  map[*types.Func]bool
+	// onExec maps executor-goroutine functions (entrypoint=executor or
+	// runs=executor) to their annotation for diagnostics.
+	onExec map[*types.Func]string
+	// spawners are functions whose function-literal arguments run on the
+	// executor: rendezvous themselves, plus runs=executor registrars.
+	runsExec map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:     pass,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		sums:     make(map[*types.Func]*summary),
+		memo:     make(map[*types.Func]*ReachFact),
+		stack:    make(map[*types.Func]bool),
+		rend:     make(map[*types.Func]bool),
+		onExec:   make(map[*types.Func]string),
+		runsExec: make(map[*types.Func]bool),
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Collect annotations first (summaries need the rendezvous set).
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		dirs := annot.FuncDirectives(fd)
+		if annot.Has(dirs, "rendezvous") {
+			c.rend[fn] = true
+			c.pass.ExportObjectFact(fn, &RendFact{})
+		}
+		if v, _ := annot.Value(dirs, "entrypoint"); v == "executor" {
+			c.onExec[fn] = "entrypoint=executor"
+		}
+		if v, _ := annot.Value(dirs, "runs"); v == "executor" {
+			c.onExec[fn] = "runs=executor"
+			c.runsExec[fn] = true
+		}
+	})
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok || fd.Body == nil {
+			return
+		}
+		c.decls[fn] = fd
+		c.sums[fn] = c.summarize(fd.Body)
+	})
+
+	// Export reach facts for cross-package chains.
+	for fn := range c.decls {
+		if w := c.witness(fn); w != nil {
+			c.pass.ExportObjectFact(fn, w)
+		}
+	}
+
+	// Shape 1: executor-goroutine functions reaching a rendezvous. The
+	// rendezvous wrappers themselves are exempt (they are the protocol).
+	for fn, how := range c.onExec {
+		if c.rend[fn] {
+			continue
+		}
+		w := c.witness(fn)
+		if w == nil {
+			continue
+		}
+		pos := fn.Pos()
+		if sum := c.sums[fn]; sum != nil {
+			if sum.rendDesc != "" {
+				pos = sum.rendPos
+			} else if len(w.Chain) > 0 {
+				for _, call := range sum.calls {
+					if call.fn.Name() == w.Chain[0] {
+						pos = call.pos
+						break
+					}
+				}
+			}
+		}
+		c.reportf(pos,
+			"bftlint:%s %s runs on the executor goroutine but reaches rendezvous %s%s; the executor cannot serve a rendezvous it is itself executing — self-deadlock",
+			how, fn.Name(), w.Desc, via(w.Chain))
+	}
+
+	// Shape 2: closures handed to a rendezvous (or to a runs=executor
+	// spawner) whose bodies reach a rendezvous.
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		callee := c.calleeOf(call)
+		if callee == nil || !(c.isRend(callee) || c.isRunsExec(callee)) {
+			return
+		}
+		for _, a := range call.Args {
+			lit, ok := ast.Unparen(a).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			sum := c.summarize(lit.Body)
+			desc, chain, pos := sum.rendDesc, []string(nil), sum.rendPos
+			if desc == "" {
+				for _, cr := range sum.calls {
+					if w := c.witness(cr.fn); w != nil {
+						desc = w.Desc
+						chain = append([]string{cr.fn.Name()}, w.Chain...)
+						pos = cr.pos
+						break
+					}
+				}
+			}
+			if desc == "" {
+				continue
+			}
+			c.reportf(pos,
+				"closure passed to rendezvous %s reaches rendezvous %s%s; the executor runs this closure and cannot serve a nested rendezvous — self-deadlock (never call Sync inside a Sync closure)",
+				callee.Name(), desc, via(chain))
+		}
+	})
+	return nil, nil
+}
+
+func via(chain []string) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	return " via " + strings.Join(chain, " -> ")
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
+	if annot.InTestFile(c.pass, pos) || annot.Suppressed(c.pass, pos, Name) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) isRend(fn *types.Func) bool {
+	if c.rend[fn] {
+		return true
+	}
+	if fn.Pkg() == nil || fn.Pkg() == c.pass.Pkg {
+		return false
+	}
+	var f RendFact
+	return c.pass.ImportObjectFact(fn, &f)
+}
+
+func (c *checker) isRunsExec(fn *types.Func) bool {
+	// Cross-package runs= domains belong to the owner analyzer's fact
+	// namespace; bftsync only needs the local registrars plus rendezvous,
+	// which carry their own fact above.
+	return c.runsExec[fn]
+}
+
+func (c *checker) calleeOf(call *ast.CallExpr) *types.Func {
+	if fn := typeutil.StaticCallee(c.pass.TypesInfo, call); fn != nil {
+		return fn
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// summarize records the first direct rendezvous call and the outgoing
+// static calls of one body, skipping function literals.
+func (c *checker) summarize(body ast.Node) *summary {
+	sum := &summary{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := c.calleeOf(call)
+		if fn == nil {
+			return true
+		}
+		if c.isRend(fn) {
+			if sum.rendDesc == "" {
+				sum.rendDesc, sum.rendPos = fn.Name(), call.Pos()
+			}
+			return true
+		}
+		sum.calls = append(sum.calls, callRec{fn: fn, pos: call.Pos()})
+		return true
+	})
+	return sum
+}
+
+// witness returns how fn reaches a rendezvous, or nil. Rendezvous wrappers
+// are boundaries: their witness is themselves (callers see the direct
+// call), so their bodies are not traversed.
+func (c *checker) witness(fn *types.Func) *ReachFact {
+	if w, ok := c.memo[fn]; ok {
+		return w
+	}
+	if c.stack[fn] {
+		return nil
+	}
+	c.stack[fn] = true
+	defer delete(c.stack, fn)
+
+	sum := c.sums[fn]
+	if sum == nil {
+		// Not declared here: consult facts.
+		if fn.Pkg() != nil && fn.Pkg() != c.pass.Pkg {
+			var f ReachFact
+			if c.pass.ImportObjectFact(fn, &f) {
+				return &f
+			}
+		}
+		return nil
+	}
+	var w *ReachFact
+	if sum.rendDesc != "" {
+		w = &ReachFact{Desc: sum.rendDesc}
+	} else {
+		for _, call := range sum.calls {
+			if cw := c.witness(call.fn); cw != nil {
+				w = &ReachFact{Desc: cw.Desc, Chain: append([]string{call.fn.Name()}, cw.Chain...)}
+				break
+			}
+		}
+	}
+	c.memo[fn] = w
+	return w
+}

@@ -1,0 +1,12 @@
+package deadlock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/deadlock"
+	"repro/internal/lint/linttest"
+)
+
+func TestSync(t *testing.T) {
+	linttest.Run(t, "syncfix", deadlock.Analyzer)
+}

@@ -80,12 +80,35 @@
 //	deterministic       function. It must compute identically on every
 //	                    replica and seeded run; bfttime flags reachable
 //	                    time.Now/Since/Until.
+//	faultbound          struct field or function. Its value (result) IS
+//	                    the resilience bound f; bftquorum forbids raw
+//	                    arithmetic or comparisons on it outside threshold
+//	                    helpers — "no raw f-arithmetic in thresholds".
+//	threshold           function. The audited place allowed to turn f
+//	                    into a certificate size (the internal/quorum
+//	                    helpers, vlog.Log.Quorum/Weak); its body is exempt
+//	                    from bftquorum and calls to it are trusted.
+//	digest              method. Marks a digest computation not named
+//	                    Digest (PrePrepare.BatchDigest) so bftwire checks
+//	                    its field coverage.
+//	nodigest=REASON     struct field. The field deliberately rides the
+//	                    wire outside the digest; REASON is a mandatory
+//	                    single token (kebab-case) and the exemption list
+//	                    is pinned by TestNoDigestExemptionsAudited and a
+//	                    CI grep.
+//	nowire=REASON       struct field. The field is deliberately absent
+//	                    from marshalBody/unmarshalBody (derived state);
+//	                    same audited-reason rule.
+//	untrusted           function. Its results are attacker-controlled;
+//	                    bfttaint propagates taint through calls to it
+//	                    (calls are otherwise sanitizing boundaries).
 //
 // Suppressions acknowledge an intentional exception on the same line or
 // the line directly above the finding:
 //
 //	allow=NAME[,NAME]   suppress the named analyzers (bftowner, bftalias,
-//	                    bftbufown, bftrand, bfttime, bftmaporder) here.
+//	                    bftbufown, bftrand, bfttime, bftmaporder, bftwire,
+//	                    bftquorum, bfttaint, bftsync) here.
 //	deepcopy            shorthand for allow=bftalias: "this store is a
 //	                    deep copy / the alias is intended".
 //	reuse-ok            shorthand for allow=bftbufown: "this reuse is
@@ -118,6 +141,31 @@
 //     (iteration order picks the replier/digest/sequence). Iterate sorted
 //     keys instead; see ownCkptList or statefetch's retry path for the
 //     idiom.
+//   - bftwire: wire/digest coverage. Every struct with a
+//     marshalBody/unmarshalBody pair must reference each field from BOTH
+//     codec sides (or neither, with nowire=REASON), and for digest-bearing
+//     messages every wire field must be an input of the digest computation
+//     or carry nodigest=REASON — the PR 4 LastMod gap (a field a Byzantine
+//     sender can vary under a valid digest), made unrepresentable.
+//   - bftquorum: quorum arithmetic. Fault-bound values (bftlint:faultbound
+//     fields/functions, and locals assigned from them) must not appear as
+//     operands of arithmetic or comparison expressions outside
+//     internal/quorum and bftlint:threshold helpers: `count >= 2*f` is a
+//     finding, `count >= quorum.Strong(f)` is not. This pins every §4.1
+//     certificate size to one audited package.
+//   - bfttaint: Byzantine-input taint. Integer fields of wire types (any
+//     struct with unmarshalBody; WireFact crosses packages) are
+//     attacker-controlled; using one as a slice index, slice bound,
+//     allocation size, loop bound, or inserted map key without a visible
+//     bounds check (a comparison on the same expression, a min/max clamp,
+//     or a modulo) is a finding. Calls are sanitizing boundaries unless
+//     annotated bftlint:untrusted.
+//   - bftsync: rendezvous self-deadlock. Code running on the executor
+//     goroutine (entrypoint=executor, runs=executor) must never reach a
+//     bftlint:rendezvous call, and a closure passed to a rendezvous must
+//     not rendezvous again — the Sync-inside-Sync shape the runtime CAS
+//     panic catches only when it fires, reported at build time with the
+//     witness call chain.
 //
 // All analyzers skip _test.go files: tests exercise nondeterminism and
 // aliasing on purpose, and `go vet` analyzes test variants of every

@@ -5,13 +5,19 @@ import (
 
 	"repro/internal/lint/alias"
 	"repro/internal/lint/bufown"
+	"repro/internal/lint/deadlock"
 	"repro/internal/lint/det"
 	"repro/internal/lint/owner"
+	"repro/internal/lint/quorum"
+	"repro/internal/lint/taint"
+	"repro/internal/lint/wire"
 )
 
 // Analyzers is the full bftlint suite, in the order findings are most
 // useful to read: ownership first (the structural invariant), then the
-// memory contracts, then determinism.
+// memory contracts, then determinism, then the protocol-shape analyzers
+// (wire/digest coverage, quorum arithmetic, Byzantine-input taint,
+// rendezvous deadlock).
 var Analyzers = []*analysis.Analyzer{
 	owner.Analyzer,
 	alias.Analyzer,
@@ -19,4 +25,8 @@ var Analyzers = []*analysis.Analyzer{
 	det.RandAnalyzer,
 	det.TimeAnalyzer,
 	det.MapOrderAnalyzer,
+	wire.Analyzer,
+	quorum.Analyzer,
+	taint.Analyzer,
+	deadlock.Analyzer,
 }

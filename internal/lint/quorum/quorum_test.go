@@ -1,0 +1,12 @@
+package quorum_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/quorum"
+)
+
+func TestQuorum(t *testing.T) {
+	linttest.Run(t, "quorumfix", quorum.Analyzer)
+}

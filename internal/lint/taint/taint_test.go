@@ -1,0 +1,12 @@
+package taint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/taint"
+)
+
+func TestTaint(t *testing.T) {
+	linttest.Run(t, "taintfix", taint.Analyzer)
+}

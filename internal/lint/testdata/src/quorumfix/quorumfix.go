@@ -1,0 +1,50 @@
+// Package quorumfix exercises bftquorum with the historical off-by-one
+// shape: a hand-written `>= 2*f` where the §4.1 proof needs 2f+1. All
+// f-arithmetic must go through a bftlint:threshold helper; fault-bound
+// values may only be stored, returned, and passed along.
+package quorumfix
+
+// faults returns the resilience bound f.
+//
+// bftlint:faultbound
+func faults() int { return 1 }
+
+// strong is the audited helper allowed to turn f into a certificate size.
+//
+// bftlint:threshold
+func strong(f int) int { return 2*f + 1 }
+
+type state struct {
+	// bftlint:faultbound
+	f     int
+	count int
+}
+
+// prepared reproduces the motivating bug: 2f matching prepares where the
+// certificate needs 2f+1.
+func (s *state) prepared() bool {
+	return s.count >= 2*s.f // want `raw arithmetic on the fault bound f`
+}
+
+// weak launders f through a local before the arithmetic; the local taint
+// still carries the bound.
+func (s *state) weak() bool {
+	f := faults()
+	need := f + 1 // want `raw arithmetic on the fault bound f`
+	return s.count >= need
+}
+
+// tooFew compares against f directly.
+func (s *state) tooFew() bool {
+	return s.count <= s.f // want `raw comparison against the fault bound f`
+}
+
+// ok goes through the audited helper: calls are the trust boundary.
+func (s *state) ok() bool {
+	return s.count >= strong(s.f)
+}
+
+// vetted shows a reviewed suppression (e.g. mid-migration code).
+func (s *state) vetted() bool {
+	return s.count >= 2*s.f+1 // bftlint:allow=bftquorum reviewed-migration
+}

@@ -1,0 +1,67 @@
+// Package syncfix exercises bftsync with the self-deadlock shape the
+// runtime CAS panic catches only when it fires: reaching a rendezvous from
+// the executor goroutine itself, directly or through a closure already
+// running inside one.
+package syncfix
+
+type executor struct{ c chan func() }
+
+// Sync runs fn on the executor goroutine and waits for it.
+//
+// bftlint:rendezvous
+func (e *executor) Sync(fn func()) {
+	done := make(chan struct{})
+	e.c <- func() { fn(); close(done) }
+	<-done
+}
+
+type replica struct{ ex *executor }
+
+func (r *replica) flush() {
+	r.ex.Sync(func() {})
+}
+
+// drainEvents is called from the executor's own loop: reaching a
+// rendezvous from here blocks the goroutine that must serve it.
+//
+// bftlint:entrypoint=executor
+func (r *replica) drainEvents() {
+	r.flush() // want `runs on the executor goroutine but reaches rendezvous Sync via flush`
+}
+
+// onCommit runs as an executor callback and calls the rendezvous directly.
+//
+// bftlint:runs=executor
+func (r *replica) onCommit() {
+	r.ex.Sync(func() {}) // want `runs on the executor goroutine but reaches rendezvous Sync`
+}
+
+// snapshot nests a rendezvous inside a rendezvous closure through a helper.
+func (r *replica) snapshot() {
+	r.ex.Sync(func() {
+		r.flush() // want `closure passed to rendezvous Sync reaches rendezvous Sync via flush`
+	})
+}
+
+// nested is the direct Sync-inside-Sync shape.
+func (r *replica) nested() {
+	r.ex.Sync(func() {
+		r.ex.Sync(func() {}) // want `closure passed to rendezvous Sync reaches rendezvous Sync`
+	})
+}
+
+// report only touches local state: executor-domain code that never
+// rendezvouses is clean.
+//
+// bftlint:entrypoint=executor
+func (r *replica) report() {
+	_ = r.ex
+}
+
+// vetted documents a reviewed exception (e.g. a path proven unreachable
+// while the executor is draining).
+//
+// bftlint:runs=executor
+func (r *replica) vetted() {
+	r.flush() // bftlint:allow=bftsync proven-unreachable-while-draining
+}

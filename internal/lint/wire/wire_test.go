@@ -1,0 +1,12 @@
+package wire_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wire"
+)
+
+func TestWire(t *testing.T) {
+	linttest.Run(t, "wirefix", wire.Analyzer)
+}

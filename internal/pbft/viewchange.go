@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/message"
+	"repro/internal/quorum"
 )
 
 // vcState holds all view-change bookkeeping (§3.2.4). It outlives every
@@ -417,7 +418,7 @@ func (r *Replica) maybeJoinViewChange() {
 			ahead = append(ahead, v)
 		}
 	}
-	if len(ahead) >= r.f+1 {
+	if len(ahead) >= quorum.Weak(r.f) {
 		minV := ahead[0]
 		for _, v := range ahead {
 			if v < minV {
@@ -477,6 +478,13 @@ func (r *Replica) onViewChangeAck(ack *message.ViewChangeAck) {
 	if ack.View != r.view || r.primary(r.view) != r.id {
 		return
 	}
+	// Source is the view-change originator the ack vouches for — a claimed
+	// ID, not the authenticated sender — and in MAC mode even the sender ID
+	// only proves key possession, not membership. Range-check both before
+	// they key a map.
+	if int(ack.Source) >= r.n || int(ack.Replica) >= r.n {
+		return
+	}
 	m := r.vc.acks[ack.Source]
 	if m == nil {
 		m = make(map[message.NodeID]bool)
@@ -504,7 +512,7 @@ func (r *Replica) countAcksFor(vc *message.ViewChange) {
 		}
 	}
 	_ = d
-	if count >= 2*r.f-1 {
+	if count >= quorum.Acks(r.f) {
 		r.vc.s[vc.Replica] = vc
 	}
 }

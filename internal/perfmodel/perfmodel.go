@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/message"
+	"repro/internal/quorum"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 )
@@ -47,7 +48,9 @@ type Params struct {
 }
 
 // F returns the fault threshold.
-func (p Params) F() int { return (p.N - 1) / 3 }
+//
+//bftlint:faultbound
+func (p Params) F() int { return quorum.F(p.N) }
 
 // digest returns D(l).
 func (p Params) digest(l int) time.Duration {
@@ -104,12 +107,12 @@ func (p Params) LatencyReadWrite(a, b int, pk, tentative bool) time.Duration {
 	// Prepare round: backups multicast, everyone collects 2f matching.
 	t += p.authGen(pk)
 	t += p.comm(0)
-	t += time.Duration(2*f) * p.authVerify(pk)
+	t += time.Duration(quorum.MatchingPrepares(f)) * p.authVerify(pk)
 	if !tentative {
 		// Commit round.
 		t += p.authGen(pk)
 		t += p.comm(0)
-		t += time.Duration(2*f+1) * p.authVerify(pk)
+		t += time.Duration(quorum.Strong(f)) * p.authVerify(pk)
 	}
 	// Execute and reply.
 	t += p.Execute
@@ -131,10 +134,10 @@ func (p Params) ThroughputReadWrite(a, b, batch int, pk bool) float64 {
 	perBatch += p.authGen(pk)                        // pre-prepare auth
 	// Serialize n-1 pre-prepare copies onto the wire.
 	perBatch += time.Duration(p.N-1) * time.Duration(batch*a+p.Header) * p.CommPerByte
-	perBatch += time.Duration(2*f) * p.authVerify(pk)   // prepares in
-	perBatch += p.authGen(pk)                           // commit auth
-	perBatch += time.Duration(2*f+1) * p.authVerify(pk) // commits in
-	perBatch += β * p.Execute                           // execution
+	perBatch += time.Duration(quorum.MatchingPrepares(f)) * p.authVerify(pk) // prepares in
+	perBatch += p.authGen(pk)                                                // commit auth
+	perBatch += time.Duration(quorum.Strong(f)) * p.authVerify(pk)           // commits in
+	perBatch += β * p.Execute                                                // execution
 	perBatch += β * (p.digest(b) + p.MACOp +
 		time.Duration(b+p.Header)*p.CommPerByte) // replies
 	if perBatch <= 0 {
@@ -154,7 +157,7 @@ func (p Params) ThroughputReadOnly(a, b int, pk bool) float64 {
 		return 0
 	}
 	single := 1 / per.Seconds()
-	return single * float64(p.N) / float64(2*p.F()+1)
+	return single * float64(p.N) / float64(quorum.Strong(p.F()))
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,46 @@
+package quorum
+
+import "testing"
+
+func TestThresholds(t *testing.T) {
+	for f := 0; f <= 33; f++ {
+		n := N(f)
+		if got := F(n); got != f {
+			t.Fatalf("F(N(%d)) = %d, want %d", f, got, f)
+		}
+		if Weak(f) != f+1 {
+			t.Fatalf("Weak(%d) = %d", f, Weak(f))
+		}
+		if Strong(f) != 2*f+1 {
+			t.Fatalf("Strong(%d) = %d", f, Strong(f))
+		}
+		// Quorum intersection (§4.1): two strong certificates out of n
+		// overlap in at least f+1 replicas, so at least one is honest.
+		if overlap := 2*Strong(f) - n; overlap < f+1 {
+			t.Fatalf("f=%d: strong certs overlap in %d < f+1 replicas", f, overlap)
+		}
+		// A prepared certificate is the primary's pre-prepare plus 2f
+		// matching prepares: one strong certificate in total.
+		if 1+MatchingPrepares(f) != Strong(f) {
+			t.Fatalf("f=%d: 1+MatchingPrepares != Strong", f)
+		}
+		// §3.2.4: sender + primary + 2f-1 acks = a strong certificate.
+		if f >= 1 && 2+Acks(f) != Strong(f) {
+			t.Fatalf("f=%d: 2+Acks != Strong", f)
+		}
+		// §3.2.2 condition 2: this replica + f vouchers = a weak certificate.
+		if 1+Vouchers(f) != Weak(f) {
+			t.Fatalf("f=%d: 1+Vouchers != Weak", f)
+		}
+		// §4.3.2: claimant + others = the corresponding certificate.
+		if 1+StrongOthers(f) != Strong(f) || 1+WeakOthers(f) != Weak(f) {
+			t.Fatalf("f=%d: Others variants drift from certificate sizes", f)
+		}
+	}
+	// F truncates: intermediate group sizes tolerate the same f.
+	for _, tc := range []struct{ n, f int }{{1, 0}, {2, 0}, {3, 0}, {4, 1}, {5, 1}, {6, 1}, {7, 2}, {10, 3}} {
+		if got := F(tc.n); got != tc.f {
+			t.Fatalf("F(%d) = %d, want %d", tc.n, got, tc.f)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package vlog
 import (
 	"repro/internal/crypto"
 	"repro/internal/message"
+	"repro/internal/quorum"
 )
 
 // certVote records one replica's prepare/commit for a slot; the vote only
@@ -141,7 +142,8 @@ func (s *Slot) PrepareDigestCount(digest crypto.Digest) int {
 
 // Log is the bounded message log of one replica.
 type Log struct {
-	n, f    int
+	n       int
+	f       int         //bftlint:faultbound
 	logSize message.Seq // L: window width in sequence numbers
 
 	low   message.Seq // h: last stable checkpoint
@@ -158,7 +160,7 @@ type Log struct {
 func New(n int, logSize message.Seq) *Log {
 	return &Log{
 		n:        n,
-		f:        (n - 1) / 3,
+		f:        quorum.F(n),
 		logSize:  logSize,
 		slots:    make(map[message.Seq]*Slot),
 		requests: make(map[crypto.Digest]*message.Request),
@@ -167,13 +169,19 @@ func New(n int, logSize message.Seq) *Log {
 }
 
 // F returns the fault threshold.
+//
+//bftlint:faultbound
 func (l *Log) F() int { return l.f }
 
 // Quorum returns the quorum certificate size, 2f+1.
-func (l *Log) Quorum() int { return 2*l.f + 1 }
+//
+//bftlint:threshold
+func (l *Log) Quorum() int { return quorum.Strong(l.f) }
 
 // Weak returns the weak certificate size, f+1.
-func (l *Log) Weak() int { return l.f + 1 }
+//
+//bftlint:threshold
+func (l *Log) Weak() int { return quorum.Weak(l.f) }
 
 // Low returns the low water mark h.
 func (l *Log) Low() message.Seq { return l.low }
@@ -214,7 +222,7 @@ func (l *Log) CheckPrepared(s *Slot, primary message.NodeID) bool {
 	if s.Prepared {
 		return true
 	}
-	if s.HasDigest && s.PrepareCount(primary) >= 2*l.f {
+	if s.HasDigest && s.PrepareCount(primary) >= quorum.MatchingPrepares(l.f) {
 		s.Prepared = true
 	}
 	return s.Prepared
