@@ -185,6 +185,26 @@ type Options struct {
 	// retransmissions before Invoke fails. Default 10.
 	RetryTimeout time.Duration
 	MaxRetries   int
+	// Durable enables the write-ahead log (README "Durability & crash
+	// recovery"): every agreement vote, request, checkpoint certificate,
+	// and view transition is logged under Dir before it can matter to the
+	// group, and NewReplica over a non-empty Dir replays the log — the
+	// replica restarts after a crash (even kill -9) with its state,
+	// reply cache, and view intact, then catches up the lost tail from
+	// the group. Dir must name a directory private to this process; each
+	// replica uses its own subdirectory r<id>, so one Dir serves a whole
+	// in-process cluster.
+	Durable bool
+	Dir     string
+	// SyncEvery forces an fsync per record — every vote is durable before
+	// it is sent, closing even the async window below at a large
+	// throughput cost. Default off: records ride group commit, where the
+	// log goroutine coalesces appends and fsyncs once per batch. SyncWait
+	// is the coalescing window (default 1ms; negative syncs whatever has
+	// accumulated without waiting). Checkpoint votes and view changes
+	// always carry a durability barrier regardless of these knobs.
+	SyncEvery bool
+	SyncWait  time.Duration
 	// Behavior injects a fault personality into a replica built with
 	// NewReplica. (For clusters, use WithBehavior.)
 	Behavior Behavior
@@ -242,8 +262,12 @@ func (o Options) Validate() error {
 		}
 	}
 	// BatchWait may be negative — that disables the accumulate deadline.
+	// SyncWait may be negative too — that syncs without waiting.
 	if o.RetryTimeout < 0 || o.ViewChangeTimeout < 0 || o.ProactiveRecovery < 0 {
 		return fmt.Errorf("bft: durations must not be negative")
+	}
+	if o.Durable && o.Dir == "" {
+		return fmt.Errorf("bft: Durable requires Dir (the write-ahead log needs a directory)")
 	}
 	return nil
 }
@@ -317,6 +341,12 @@ func (o Options) engineConfig() pbft.Config {
 	}
 	if o.ProactiveRecovery > 0 {
 		cfg.KeyRefreshInterval = o.ProactiveRecovery / 2
+	}
+	if o.Durable {
+		// The per-replica subdirectory is appended where the id is known
+		// (NewReplica); the sync policy lowers directly.
+		cfg.WALSyncEvery = o.SyncEvery
+		cfg.WALSyncWait = o.SyncWait
 	}
 	return cfg
 }

@@ -41,11 +41,13 @@ func WithBehavior(i int, b Behavior) ClusterOption {
 // sequential principal ids. Everything it does can be done with
 // NewReplica/NewClient directly.
 type Cluster struct {
-	opts     Options
-	net      Network
-	sim      *SimNet // non-nil when the cluster runs over a simulated network
-	ownsNet  bool    // the cluster created sim and must close it
-	replicas []*Replica
+	opts      Options
+	svc       ServiceFactory
+	behaviors map[int]Behavior
+	net       Network
+	sim       *SimNet // non-nil when the cluster runs over a simulated network
+	ownsNet   bool    // the cluster created sim and must close it
+	replicas  []*Replica
 
 	mu         sync.Mutex
 	nextClient int
@@ -60,7 +62,7 @@ func NewCluster(opts Options, svc ServiceFactory, copts ...ClusterOption) *Clust
 	for _, o := range copts {
 		o(&cc)
 	}
-	c := &Cluster{opts: opts, net: cc.net}
+	c := &Cluster{opts: opts, svc: svc, behaviors: cc.behaviors, net: cc.net}
 	if c.net == nil {
 		c.sim = SimNetwork(SimSeed(opts.Seed + 7))
 		c.net = c.sim
@@ -72,17 +74,22 @@ func NewCluster(opts Options, svc ServiceFactory, copts ...ClusterOption) *Clust
 		c.sim = s
 	}
 	for i := 0; i < opts.replicas(); i++ {
-		ropts := opts
-		// Options.Behavior is the per-node field for NewReplica; in a
-		// cluster, personalities come from WithBehavior per index —
-		// inheriting it here would silently make every replica faulty.
-		ropts.Behavior = Correct
-		if b, ok := cc.behaviors[i]; ok {
-			ropts.Behavior = b
-		}
-		c.replicas = append(c.replicas, NewReplica(i, ropts, svc, c.net))
+		c.replicas = append(c.replicas, NewReplica(i, c.replicaOptions(i), svc, c.net))
 	}
 	return c
+}
+
+// replicaOptions derives replica i's per-node options from the cluster's.
+func (c *Cluster) replicaOptions(i int) Options {
+	ropts := c.opts
+	// Options.Behavior is the per-node field for NewReplica; in a
+	// cluster, personalities come from WithBehavior per index —
+	// inheriting it here would silently make every replica faulty.
+	ropts.Behavior = Correct
+	if b, ok := c.behaviors[i]; ok {
+		ropts.Behavior = b
+	}
+	return ropts
 }
 
 // Start launches every replica.
@@ -154,6 +161,21 @@ func (c *Cluster) FaultTolerance() int { return (len(c.replicas) - 1) / 3 }
 
 // Recover triggers proactive recovery of replica i immediately.
 func (c *Cluster) Recover(i int) { c.replicas[i].Recover() }
+
+// Kill crashes replica i without flushing its write-ahead log (see
+// Replica.Kill); the rest of the cluster keeps running.
+func (c *Cluster) Kill(i int) { c.replicas[i].Kill() }
+
+// Restart replaces a stopped or killed replica i with a fresh instance
+// built from the same options. With Durable set the new instance replays
+// its log from Dir before rejoining; the replica is started before
+// Restart returns.
+func (c *Cluster) Restart(i int) *Replica {
+	r := NewReplica(i, c.replicaOptions(i), c.svc, c.net)
+	c.replicas[i] = r
+	r.Start()
+	return r
+}
 
 // Partition splits the replicas into groups; replica-to-replica traffic
 // crossing a group boundary is dropped until Heal. Clients keep reaching

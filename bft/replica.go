@@ -1,6 +1,9 @@
 package bft
 
 import (
+	"fmt"
+	"path/filepath"
+
 	"repro/internal/pbft"
 )
 
@@ -23,14 +26,28 @@ func NewReplica(id int, opts Options, svc ServiceFactory, net Network) *Replica 
 		panic("bft: replica id out of range")
 	}
 	cfg.ID = replicaID(id)
+	if opts.Durable {
+		// One log directory per replica: an existing log is replayed here,
+		// so constructing over a crashed replica's directory IS the
+		// restart path.
+		cfg.WALDir = filepath.Join(opts.Dir, fmt.Sprintf("r%d", id))
+	}
 	return &Replica{inner: pbft.NewReplica(cfg, opts.offlineDirectory(), net, svc)}
 }
 
 // Start launches the replica's event loop.
 func (r *Replica) Start() { r.inner.Start() }
 
-// Stop terminates the replica and detaches it from the network.
+// Stop terminates the replica and detaches it from the network. With a
+// write-ahead log configured, pending frames are flushed first — Stop is
+// a clean shutdown.
 func (r *Replica) Stop() { r.inner.Stop() }
+
+// Kill crashes the replica: it stops sending and receiving immediately and
+// un-fsynced log frames are abandoned, exactly as kill -9 would abandon
+// them. Use it (instead of Stop) to test crash recovery; build a new
+// replica with the same id and Options over the same Dir to restart.
+func (r *Replica) Kill() { r.inner.Kill() }
 
 // ID returns the replica's index in the group.
 func (r *Replica) ID() int { return int(r.inner.ID()) }

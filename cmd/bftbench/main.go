@@ -22,10 +22,10 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (E1..E13) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (E1..E14) or 'all'")
 		scale   = flag.Int("scale", 1, "work multiplier (>=1)")
 		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonOut = flag.String("json", "", "write the machine-readable report of a JSON-capable experiment (E12, E13) to this path")
+		jsonOut = flag.String("json", "", "write the machine-readable report of a JSON-capable experiment (E12, E13, E14) to this path")
 	)
 	flag.Parse()
 
@@ -61,6 +61,10 @@ func main() {
 		},
 		"E13": func(scale int) (*experiments.Table, interface{}) {
 			t, rep := experiments.E13ShardingReport(scale)
+			return t, rep
+		},
+		"E14": func(scale int) (*experiments.Table, interface{}) {
+			t, rep := experiments.E14WALReport(scale)
 			return t, rep
 		},
 	}

@@ -1,9 +1,12 @@
 // Command bftsim runs a scripted demonstration of the BFT library through
 // its public per-node API: a replicated counter service survives a
 // Byzantine replica, a primary failure (view change), a network partition
-// (state transfer), and a proactive recovery, narrating each step.
+// (state transfer), and a proactive recovery, narrating each step. With
+// -durable every replica keeps a write-ahead log and the script also
+// kill -9s a replica mid-stream and restarts it from its log.
 //
 //	bftsim -n 4 -mode mac
+//	bftsim -durable -dir /tmp/bftsim-wal
 package main
 
 import (
@@ -19,9 +22,11 @@ import (
 
 func main() {
 	var (
-		n    = flag.Int("n", 4, "number of replicas (3f+1)")
-		mode = flag.String("mode", "mac", "authentication: mac (BFT) or pk (BFT-PK)")
-		seed = flag.Int64("seed", -1, "simulation seed (-1: derive from the clock)")
+		n       = flag.Int("n", 4, "number of replicas (3f+1)")
+		mode    = flag.String("mode", "mac", "authentication: mac (BFT) or pk (BFT-PK)")
+		seed    = flag.Int64("seed", -1, "simulation seed (-1: derive from the clock)")
+		durable = flag.Bool("durable", false, "write-ahead log every replica and demonstrate kill -9 + restart")
+		dir     = flag.String("dir", "", "WAL root directory for -durable (default: a fresh temp dir)")
 	)
 	flag.Parse()
 
@@ -33,7 +38,7 @@ func main() {
 		*seed = time.Now().UnixNano() % 1000
 	}
 	fmt.Printf("seed %d (rerun with -seed %d to reproduce)\n", *seed, *seed)
-	cluster := bft.NewCluster(bft.Options{
+	opts := bft.Options{
 		Replicas:           *n,
 		Mode:               m,
 		CheckpointInterval: 8,
@@ -42,7 +47,22 @@ func main() {
 		StateSize:          kv.MinStateSize,
 		MaxRetries:         30,
 		Seed:               *seed,
-	}, kv.Factory,
+	}
+	if *durable {
+		opts.Durable = true
+		opts.Dir = *dir
+		if opts.Dir == "" {
+			d, err := os.MkdirTemp("", "bftsim-wal-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "FATAL:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(d)
+			opts.Dir = d
+		}
+		fmt.Printf("durable: write-ahead logs under %s\n", opts.Dir)
+	}
+	cluster := bft.NewCluster(opts, kv.Factory,
 		bft.WithBehavior(*n-1, bft.WrongResult)) // one liar from the start
 	cluster.Start()
 	defer cluster.Stop()
@@ -104,6 +124,30 @@ func main() {
 	}
 	fmt.Printf("    recovery completed in %v\n", cluster.Replica(2).Metrics().LastRecoveryTime.Round(time.Millisecond))
 	incr("after recovery")
+
+	if *durable {
+		step("kill -9 replica 0 mid-stream — whatever its WAL had not fsynced dies with it")
+		cluster.Kill(0)
+		for i := 0; i < 4; i++ {
+			incr("while replica 0 is down")
+		}
+
+		step("restarting replica 0 from its write-ahead log")
+		t0 = time.Now()
+		r := cluster.Restart(0)
+		fmt.Printf("    replayed its log to seq %d in %v\n",
+			r.LastExecuted(), r.Metrics().ReplayTime.Round(time.Microsecond))
+		deadline = time.Now().Add(10 * time.Second)
+		for r.LastExecuted() < cluster.Replica(1).LastExecuted() {
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		fmt.Printf("    caught up to seq %d in %v\n",
+			r.LastExecuted(), time.Since(t0).Round(time.Millisecond))
+		incr("after restart")
+	}
 
 	step("final tally across replicas")
 	for i := 0; i < *n; i++ {

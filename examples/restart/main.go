@@ -1,0 +1,86 @@
+// Crash-recovery example (internal/wal behind bft.Options): every replica
+// appends protocol records to a write-ahead log through an async
+// group-commit writer, so a kill -9 loses at most the un-fsynced tail.
+// The walkthrough kills a replica mid-load, keeps serving on the
+// survivors, restarts the victim from its on-disk log, and shows it
+// replaying to its last durable point and catching the tail live — with
+// the reply cache intact, so exactly-once survives the crash. All through
+// the public bft surface.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/bft"
+	"repro/bft/kv"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bft-restart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cluster := bft.NewCluster(bft.Options{
+		Replicas:           4,
+		StateSize:          kv.MinStateSize,
+		CheckpointInterval: 8,
+		LogWindow:          16,
+		MaxRetries:         30,
+		Durable:            true, // WAL every replica under dir
+		Dir:                dir,
+	}, kv.Factory)
+	cluster.Start()
+	defer cluster.Stop()
+
+	client := cluster.NewClient()
+	ctx := context.Background()
+	incr := func() uint64 {
+		res, err := client.Invoke(ctx, kv.Incr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return kv.DecodeU64(res)
+	}
+
+	for i := 0; i < 10; i++ {
+		incr()
+	}
+	fmt.Println("counter at 10; kill -9 replica 1 (its un-fsynced log tail dies with it)")
+	cluster.Kill(1)
+
+	// 3f+1 = 4 tolerates one crashed replica: the service keeps serving.
+	for i := 0; i < 5; i++ {
+		incr()
+	}
+	fmt.Println("counter at 15 with replica 1 down")
+
+	fmt.Println("restarting replica 1 from its write-ahead log...")
+	t0 := time.Now()
+	r := cluster.Restart(1)
+	fmt.Printf("replayed to seq %d in %v; catching the tail live\n",
+		r.LastExecuted(), r.Metrics().ReplayTime.Round(time.Microsecond))
+
+	target := cluster.Replica(0).LastExecuted()
+	deadline := time.Now().Add(15 * time.Second)
+	for r.LastExecuted() < target {
+		if time.Now().After(deadline) {
+			log.Fatalf("replica 1 stuck at %d, group at %d", r.LastExecuted(), target)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("replica 1 caught up to seq %d in %v\n",
+		r.LastExecuted(), time.Since(t0).Round(time.Millisecond))
+
+	// Exactly-once survived the crash: the counter continues from 15, no
+	// increment lost, none applied twice.
+	if got := incr(); got != 16 {
+		log.Fatalf("counter reads %d after restart, want 16", got)
+	}
+	fmt.Println("counter reads 16 after restart: exactly-once intact")
+}

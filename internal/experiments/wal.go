@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/kvservice"
+	"repro/internal/pbft"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// WALRow is one durability configuration of the E14 table, shaped for
+// BENCH_wal.json. Throughput/latency come from the median-throughput trial
+// of several: the box's fsync latency varies enough run to run that a
+// single sample misstates the durability tax.
+type WALRow struct {
+	Config  string  `json:"config"`
+	Clients int     `json:"clients"`
+	OpsEach int     `json:"ops_per_client"`
+	Trials  int     `json:"trials"`
+	Tput    float64 `json:"throughput_ops_s"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	Fsyncs  uint64  `json:"wal_fsyncs"`
+	Appends uint64  `json:"wal_appends"`
+	Errors  int     `json:"errors"`
+}
+
+// WALReport is the machine-readable result of E14 (BENCH_wal.json).
+type WALReport struct {
+	Experiment string   `json:"experiment"`
+	Rows       []WALRow `json:"rows"`
+	// GroupCommitOverInMemory is async group-commit throughput over the
+	// in-memory (no WAL) baseline at 100 closed-loop clients, medians of
+	// the trials; the design target is ≥ 0.7 — durability for less than a
+	// third of the throughput.
+	GroupCommitOverInMemory float64 `json:"group_commit_over_in_memory_at_100_clients"`
+	// Restart-to-caught-up: a replica is killed (un-fsynced tail
+	// abandoned) under load, restarted from its log, and timed until its
+	// execution frontier rejoins the group's.
+	RestartToCaughtUpMs float64 `json:"restart_to_caught_up_ms"`
+	ReplayMs            float64 `json:"replay_ms"`
+	ReplayedToSeq       uint64  `json:"replayed_to_seq"`
+}
+
+// walConfigs are the three durability policies E14 compares. The mutator
+// receives the per-run WAL directory ("" = in-memory, no log at all).
+func walConfigs() []struct {
+	name string
+	mut  func(cfg *pbft.Config, dir string)
+} {
+	return []struct {
+		name string
+		mut  func(cfg *pbft.Config, dir string)
+	}{
+		{"inMemory (no WAL)", func(cfg *pbft.Config, dir string) {}},
+		{"async group-commit", func(cfg *pbft.Config, dir string) { cfg.WALDir = dir }},
+		{"sync every record", func(cfg *pbft.Config, dir string) {
+			cfg.WALDir = dir
+			cfg.WALSyncEvery = true
+		}},
+	}
+}
+
+// E14WAL measures what durability costs and what it buys: closed-loop
+// throughput/latency at 100 clients for no log, async group-commit, and
+// fsync-per-record, plus the time for a killed replica to restart from its
+// log and catch back up to the live group.
+func E14WAL(scale int) []*Table {
+	t, _ := E14WALReport(scale)
+	return []*Table{t}
+}
+
+// E14WALReport runs E14 and also returns the machine-readable report.
+func E14WALReport(scale int) (*Table, *WALReport) {
+	t := &Table{
+		ID:    "E14",
+		Title: "write-ahead log: durability cost and crash-restart time (0/0 op), f=1 (n=4)",
+		Header: []string{"config", "clients", "ops/client", "tput/s",
+			"p50 ms", "p99 ms", "fsyncs", "err"},
+	}
+	rep := &WALReport{Experiment: "E14"}
+
+	const clients = 100
+	const trials = 3
+	opsEach := 40 * scale
+
+	// Trials interleave the configs so slow drift in the box's I/O latency
+	// lands on all of them equally.
+	byConfig := map[string][]WALRow{}
+	for trial := 0; trial < trials; trial++ {
+		for _, wc := range walConfigs() {
+			byConfig[wc.name] = append(byConfig[wc.name],
+				runWALTrial(wc.name, wc.mut, clients, opsEach))
+		}
+	}
+
+	tputs := map[string]float64{}
+	for _, wc := range walConfigs() {
+		rows := byConfig[wc.name]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Tput < rows[j].Tput })
+		row := rows[len(rows)/2]
+		row.Trials = trials
+		tputs[wc.name] = row.Tput
+		rep.Rows = append(rep.Rows, row)
+		t.Add(row.Config, fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%d", row.OpsEach), fmt.Sprintf("%.0f", row.Tput),
+			fmt.Sprintf("%.3f", row.P50Ms), fmt.Sprintf("%.3f", row.P99Ms),
+			fmt.Sprintf("%d", row.Fsyncs), fmt.Sprintf("%d", row.Errors))
+	}
+
+	if tputs["inMemory (no WAL)"] > 0 {
+		rep.GroupCommitOverInMemory = tputs["async group-commit"] / tputs["inMemory (no WAL)"]
+	}
+
+	measureRestart(time.Duration(scale)*1500*time.Millisecond, rep)
+
+	t.Note("async group-commit vs in-memory throughput at 100 closed-loop clients, median of %d trials: x%.2f (target ≥ 0.7)", trials, rep.GroupCommitOverInMemory)
+	t.Note("kill -9 one replica mid-load, restart from its log: caught up in %.1f ms (replay %.1f ms, to seq %d)",
+		rep.RestartToCaughtUpMs, rep.ReplayMs, rep.ReplayedToSeq)
+	t.Note("the log records votes before they can matter to the group (checkpoint votes and view changes under a barrier, normal votes on group commit); replay plus state transfer rebuilds the replica without divergence")
+	return t, rep
+}
+
+// runWALTrial runs one closed-loop trial of one durability config: 100
+// clients each issuing opsEach requests back to back.
+func runWALTrial(name string, mut func(cfg *pbft.Config, dir string), clients, opsEach int) WALRow {
+	dir, err := os.MkdirTemp("", "bft-e14-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := benchConfig(pbft.ModeMAC)
+	mut(&cfg, dir)
+	// Same substrate as the E12 knee: 1ms links so agreement rounds (and
+	// therefore the fsyncs that ride them) have a real cost.
+	net := simnet.New(simnet.WithSeed(cfg.Seed+14),
+		simnet.WithDefaults(simnet.LinkConfig{Latency: time.Millisecond}))
+	defer net.Close()
+	c := pbft.NewCluster(net, cfg, 4, kvservice.Factory, nil)
+	c.Start()
+	defer c.Stop()
+
+	st := workload.RunClosed(func() workload.Invoker {
+		cl := c.NewClient()
+		// Closed loop wants each op's true completion time, not a
+		// retransmission storm once the loop saturates the group.
+		cl.RetryTimeout = 8 * time.Second
+		return cl
+	}, clients, opsEach,
+		func(int) ([]byte, bool) { return kvservice.Noop(), false })
+	m := c.Replica(0).Metrics()
+
+	return WALRow{
+		Config:  name,
+		Clients: clients,
+		OpsEach: opsEach,
+		Tput:    st.Throughput(),
+		P50Ms:   float64(st.Median().Microseconds()) / 1000,
+		P99Ms:   float64(st.Percentile(99).Microseconds()) / 1000,
+		Fsyncs:  m.WALFsyncs,
+		Appends: m.WALAppends,
+		Errors:  st.Errors,
+	}
+}
+
+// measureRestart crashes a backup of a durable cluster mid-load, restarts
+// it from its log, and records replay time and time-to-rejoin.
+func measureRestart(duration time.Duration, rep *WALReport) {
+	dir, err := os.MkdirTemp("", "bft-e14-restart-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := benchConfig(pbft.ModeMAC)
+	cfg.WALDir = dir
+	net := simnet.New(simnet.WithSeed(cfg.Seed+15),
+		simnet.WithDefaults(simnet.LinkConfig{Latency: time.Millisecond}))
+	defer net.Close()
+	c := pbft.NewCluster(net, cfg, 4, kvservice.Factory, nil)
+	c.Start()
+	defer c.Stop()
+	pool := newClientPool(c, 100)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*duration)
+	defer cancel()
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		workload.RunOpenLoop(ctx, pool, 5000, 3*duration,
+			func(int) ([]byte, bool) { return kvservice.Noop(), false })
+	}()
+
+	// Let the log grow, then crash a backup mid-batch.
+	for c.Replica(1).LastExecuted() < 64 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Kill(1)
+	time.Sleep(duration / 4) // the group runs ahead while the victim is down
+
+	start := time.Now()
+	r := c.Restart(1)
+	rep.ReplayedToSeq = uint64(r.LastExecuted())
+	// Caught up: the victim's frontier reaches where the group was at
+	// restart time and trails the still-moving frontier by less than a
+	// checkpoint interval.
+	target := c.Replica(0).LastExecuted()
+	for {
+		v, lead := r.LastExecuted(), c.Replica(0).LastExecuted()
+		if v >= target && v+cfg.CheckpointInterval >= lead {
+			break
+		}
+		if time.Since(start) > 2*duration+30*time.Second {
+			break // record the timeout rather than hang the experiment
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep.RestartToCaughtUpMs = float64(time.Since(start).Microseconds()) / 1000
+	rep.ReplayMs = float64(r.Metrics().ReplayTime.Microseconds()) / 1000
+	cancel()
+	<-loadDone
+}

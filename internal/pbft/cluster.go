@@ -1,6 +1,8 @@
 package pbft
 
 import (
+	"fmt"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/message"
@@ -16,7 +18,9 @@ type Cluster struct {
 	Dir      *Directory
 	Replicas []*Replica
 
-	template Config
+	template  Config
+	svc       func(*statemachine.Region) statemachine.Service
+	behaviors map[message.NodeID]Behavior
 
 	mu         sync.Mutex
 	clients    []*Client
@@ -37,19 +41,31 @@ func NewCluster(net *simnet.Network, template Config, n int,
 		Net:        net,
 		Dir:        NewDirectory(n),
 		template:   template,
+		svc:        svc,
+		behaviors:  behaviors,
 		nextClient: message.ClientIDBase,
 	}
 	for i := 0; i < n; i++ {
-		cfg := template
-		cfg.ID = message.NodeID(i)
-		if behaviors != nil {
-			if b, ok := behaviors[cfg.ID]; ok {
-				cfg.Behavior = b
-			}
-		}
-		c.Replicas = append(c.Replicas, NewReplica(cfg, c.Dir, net, svc))
+		c.Replicas = append(c.Replicas, NewReplica(c.replicaConfig(i), c.Dir, net, svc))
 	}
 	return c
+}
+
+// replicaConfig derives replica i's config from the template: ID, fault
+// personality, and — when the template names a WAL directory — a private
+// per-replica subdirectory (replicas must never share a log).
+func (c *Cluster) replicaConfig(i int) Config {
+	cfg := c.template
+	cfg.ID = message.NodeID(i)
+	if c.behaviors != nil {
+		if b, ok := c.behaviors[cfg.ID]; ok {
+			cfg.Behavior = b
+		}
+	}
+	if cfg.WALDir != "" {
+		cfg.WALDir = filepath.Join(cfg.WALDir, fmt.Sprintf("r%d", i))
+	}
+	return cfg
 }
 
 // NewLocalCluster creates a zero-latency in-process cluster (the common
@@ -99,6 +115,25 @@ func (c *Cluster) NewClient() *Client {
 	c.clients = append(c.clients, cl)
 	c.mu.Unlock()
 	return cl
+}
+
+// Kill crashes replica i without flushing: pending WAL frames are abandoned
+// exactly as a power failure would abandon them. The replica stops sending
+// and receiving; the rest of the cluster keeps running.
+func (c *Cluster) Kill(i int) {
+	c.Replicas[i].Kill()
+}
+
+// Restart replaces a stopped or killed replica i with a fresh instance built
+// from the same per-replica config. With a WAL directory configured the new
+// instance replays its durable log before rejoining; without one it comes
+// back empty and relies on state transfer. The replica is started before
+// Restart returns.
+func (c *Cluster) Restart(i int) *Replica {
+	r := NewReplica(c.replicaConfig(i), c.Dir, c.Net, c.svc)
+	c.Replicas[i] = r
+	r.Start()
+	return r
 }
 
 // Replica returns replica i.

@@ -21,6 +21,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/message"
 	"repro/internal/quorum"
+	"repro/internal/wal"
 )
 
 // Mode selects the authentication flavor of the protocol.
@@ -242,6 +243,24 @@ type Config struct {
 	// not slot-for-slot. Default 8192. (Clients use a small fixed ingress
 	// queue; only replicas are flooded in experiments.)
 	InboxCap int
+
+	// Durability (durability.go, internal/wal). WALDir, when set, makes the
+	// replica log protocol records to a write-ahead log in that directory
+	// (one directory per replica) and recover from it on construction.
+	// WALBackend overrides the file backend with a caller-supplied storage
+	// seam (tests use wal.MemBackend); it must not be shared between
+	// replicas. WALSyncEvery forces a write+fsync per record instead of the
+	// async group commit; WALSyncWait is the minimum interval between group
+	// commits (zero means wal.DefaultSyncWait). WALRotateBytes is the
+	// segment size at which a stable checkpoint saves a full snapshot and
+	// rotates the log (zero means 256 KiB; checkpoints below the threshold
+	// log only a truncation record, which replay honors by sliding its
+	// window).
+	WALDir         string
+	WALBackend     wal.Backend
+	WALSyncEvery   bool
+	WALSyncWait    time.Duration
+	WALRotateBytes int64
 
 	// QSetBound, when positive, bounds the number of (digest, view) pairs
 	// retained per sequence number in the QSet — the bounded-space view

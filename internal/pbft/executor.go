@@ -355,6 +355,9 @@ type execSender Replica
 // bftlint:send
 func (s *execSender) SendReply(rep *message.Reply) {
 	r := (*Replica)(s)
+	if r.muted.Load() {
+		return // WAL replay: re-executed batches must not re-send replies
+	}
 	r.behaviorMangle(rep)
 	if r.out != nil {
 		r.out.Send(rep.Client, rep, egress.Point)

@@ -50,6 +50,12 @@ func (m *Metrics) Merge(other Metrics) {
 	m.BatchBytesTotal += other.BatchBytesTotal
 	m.BatchWaitFires += other.BatchWaitFires
 	m.QueueDepth += other.QueueDepth
+	m.WALAppends += other.WALAppends
+	m.WALFsyncs += other.WALFsyncs
+	m.WALBytes += other.WALBytes
+	if other.ReplayTime > m.ReplayTime {
+		m.ReplayTime = other.ReplayTime
+	}
 	if other.BatchTarget > m.BatchTarget {
 		m.BatchTarget = other.BatchTarget
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/quorum"
 	"repro/internal/vlog"
+	"repro/internal/wal"
 )
 
 // smallResultThreshold disables digest replies for tiny results (§5.1.1:
@@ -523,6 +524,7 @@ func (r *Replica) fillSlotBody(pp *message.PrePrepare, slot *vlog.Slot) {
 	}
 	slot.PrePrepare = pp
 	r.rememberBatch(pp)
+	r.walPrePrepare(pp)
 	r.executeForward()
 }
 
@@ -535,11 +537,13 @@ func (r *Replica) acceptBackupPrePrepare(pp *message.PrePrepare, slot *vlog.Slot
 	slot.AddPrePrepare(pp)
 	slot.PrePrepared = true
 	r.rememberBatch(pp)
+	r.walPrePrepare(pp)
 	r.updateVCTimer()
 
 	if !slot.SentPrepare {
 		slot.SentPrepare = true
 		prep := &message.Prepare{View: pp.View, Seq: pp.Seq, Digest: slot.Digest, Replica: r.id}
+		r.walVote(wal.KindPrepare, pp.View, pp.Seq, r.id, slot.Digest)
 		r.multicastReplicas(prep)
 		slot.AddPrepare(r.id, pp.View, slot.Digest)
 	}
@@ -558,6 +562,7 @@ func (r *Replica) acceptPrePrepare(pp *message.PrePrepare) {
 	slot.AddPrePrepare(pp)
 	slot.PrePrepared = true
 	r.rememberBatch(pp)
+	r.walPrePrepare(pp)
 	r.progressSlot(slot)
 }
 
@@ -573,6 +578,7 @@ func (r *Replica) onPrepare(p *message.Prepare) {
 		return
 	}
 	slot.AddPrepare(p.Replica, p.View, p.Digest)
+	r.walVote(wal.KindPrepare, p.View, p.Seq, p.Replica, p.Digest)
 	// A prepare may satisfy request-auth condition 2 for a buffered
 	// pre-prepare.
 	if pp, ok := r.waitingPP[p.Seq]; ok && !slot.HasDigest && r.haveSeparateBodies(pp) {
@@ -594,6 +600,7 @@ func (r *Replica) onCommit(c *message.Commit) {
 		return
 	}
 	slot.AddCommit(c.Replica, c.View, c.Digest)
+	r.walVote(wal.KindCommit, c.View, c.Seq, c.Replica, c.Digest)
 	r.progressSlot(slot)
 }
 
@@ -607,6 +614,7 @@ func (r *Replica) progressSlot(slot *vlog.Slot) {
 	if r.log.CheckPrepared(slot, p) && !slot.SentCommit {
 		slot.SentCommit = true
 		cm := &message.Commit{View: slot.View, Seq: slot.Seq, Digest: slot.Digest, Replica: r.id}
+		r.walVote(wal.KindCommit, slot.View, slot.Seq, r.id, slot.Digest)
 		r.multicastReplicas(cm)
 		slot.AddCommit(r.id, slot.View, slot.Digest)
 	}
@@ -870,6 +878,10 @@ func (r *Replica) takeCheckpointNow(seq message.Seq) crypto.Digest {
 
 func (r *Replica) broadcastCheckpoint(seq message.Seq, d crypto.Digest) {
 	cp := &message.Checkpoint{Seq: seq, Digest: d, Replica: r.id}
+	// Durability barrier (§2.3.4): a checkpoint vote asserts state the group
+	// may build a stable certificate on, so everything that produced it must
+	// survive a crash before the claim leaves this replica.
+	r.walBarrier()
 	r.multicastReplicas(cp)
 	r.addCkptVote(seq, r.id, d)
 	r.checkCkptStable(seq)
@@ -948,6 +960,7 @@ func (r *Replica) makeStable(seq message.Seq) {
 		}
 	}
 	r.metrics.StableCheckpoints++
+	r.persistStable(seq) // WAL snapshot + segment rotation (replay window = L)
 	r.pruneViewChangeSets(seq)
 	r.recoveryCheckpointStable(seq)
 	if r.isPrimary() {

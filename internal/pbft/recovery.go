@@ -84,21 +84,32 @@ func (r *Replica) refreshKeys() {
 		Epoch:   r.rec.epoch,
 		Counter: r.rec.coCounter,
 	}
+	var seeds []uint64
 	for i := 0; i < r.n; i++ {
 		peer := message.NodeID(i)
 		if peer == r.id {
 			continue
 		}
-		key := r.ks.RefreshIn(uint32(peer), r.rec.epoch, r.rng.Uint64())
+		seed := r.rng.Uint64()
+		key := r.ks.RefreshIn(uint32(peer), r.rec.epoch, seed)
+		seeds = append(seeds, seed)
 		nk.Peers = append(nk.Peers, peer)
 		nk.Keys = append(nk.Keys, key)
 	}
+	// Durable first (counter + seeds, with a barrier): once the
+	// announcement escapes, peers hold us to this counter and these
+	// in-keys forever — a restart that forgot them would be deaf (old
+	// in-keys rejected) and mute (counter reuse suppressed as replay).
+	r.walKeyRefresh(seeds)
 	r.multicastSigned(nk) // signed by the co-processor
 }
 
 // onNewKey installs the fresh key a peer chose for our traffic to it.
 func (r *Replica) onNewKey(nk *message.NewKey) {
-	if nk.Replica == r.id || len(nk.Peers) != len(nk.Keys) {
+	// MAC-mode session keys derive for ANY principal ID: authentication
+	// proves key possession, not group membership. Bound the claimed ID
+	// before it keys the counter map and the WAL bookkeeping.
+	if nk.Replica == r.id || int(nk.Replica) >= r.n || len(nk.Peers) != len(nk.Keys) {
 		return
 	}
 	// Suppress-replay defense: the co-processor counter must advance.
@@ -109,6 +120,9 @@ func (r *Replica) onNewKey(nk *message.NewKey) {
 	for i, p := range nk.Peers {
 		if p == r.id {
 			r.ks.SetOut(uint32(nk.Replica), nk.Keys[i], nk.Epoch)
+			// The peer forgot its old in-key the moment it rotated:
+			// survive a crash holding the new one.
+			r.walNewKey(nk.Replica, nk.Epoch, nk.Counter, nk.Keys[i])
 		}
 	}
 }

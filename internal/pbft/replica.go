@@ -15,6 +15,7 @@ import (
 	"repro/internal/statemachine"
 	"repro/internal/transport"
 	"repro/internal/vlog"
+	"repro/internal/wal"
 )
 
 // Metrics counts protocol events at one replica.
@@ -75,6 +76,15 @@ type Metrics struct {
 	BatchWaitFires   uint64
 	QueueDepth       uint64
 	BatchTarget      uint64
+	// Durability observability (durability.go, internal/wal): WALAppends /
+	// WALFsyncs / WALBytes count records enqueued, group commits issued, and
+	// frame bytes written; their ratio is the fsync batching factor.
+	// ReplayTime is the wall time the last restart spent rebuilding state
+	// from the log before going live.
+	WALAppends uint64
+	WALFsyncs  uint64
+	WALBytes   uint64
+	ReplayTime time.Duration
 }
 
 // execRecord remembers what executed at a sequence number so new-view
@@ -197,6 +207,17 @@ type Replica struct {
 	keyDeadline      time.Time
 	watchdogDeadline time.Time
 
+	// Durability (durability.go): wal is the async group-commit log writer
+	// (nil when durability is off); muted suppresses every send path while
+	// the replica replays its log at startup or is being killed. The writer
+	// handle is set once in NewReplica; Append/Barrier are called from the
+	// event loop only.
+	wal          *wal.Writer // bftlint:owner=shared
+	muted        atomic.Bool // bftlint:owner=shared
+	walRotated   uint64      // writer bytes at the last segment rotation; bftlint:owner=loop
+	rekeyOnStart bool        // replayed from an existing log: re-announce in-keys (§4.3.1); bftlint:owner=loop
+	keyRecs      keyRecords  // key-exchange records to re-log on rotation; bftlint:owner=loop
+
 	rng     *rand.Rand
 	metrics Metrics
 	stopped bool
@@ -309,6 +330,9 @@ func NewReplica(cfg Config, dir *Directory, net Network,
 		// the transport above.
 		r.startExecutor()
 	}
+	// Durability last: replay needs the executor (state installs rendezvous
+	// through it) and the muted send paths above.
+	r.initWAL()
 	return r
 }
 
@@ -344,6 +368,9 @@ func (r *Replica) Stop() {
 	}
 	if r.out != nil {
 		r.out.Close() // before the transport: the collector transmits through it
+	}
+	if r.wal != nil {
+		r.wal.Close() // clean shutdown flushes; only Kill abandons the tail
 	}
 	r.trans.Close()
 	if r.pipe != nil {
@@ -396,6 +423,12 @@ func (r *Replica) Metrics() Metrics {
 		m.PagesDigested = s.PagesDigested
 		m.CkptDigestTime = s.CkptTime
 	}
+	if r.wal != nil {
+		ws := r.wal.Stats()
+		m.WALAppends = ws.Appends
+		m.WALFsyncs = ws.Fsyncs
+		m.WALBytes = ws.Bytes
+	}
 	return m
 }
 
@@ -443,6 +476,15 @@ const tickInterval = 2 * time.Millisecond
 
 func (r *Replica) run() {
 	defer r.wg.Done()
+	if r.rekeyOnStart {
+		// A restart loses every session key installed since boot (they are
+		// deliberately volatile, §4.3.1), while peers that refreshed theirs
+		// keep expecting them. Announce fresh in-keys so peers re-key toward
+		// us; peers that rotated respond in kind (onNewKey) so we re-learn
+		// theirs.
+		r.rekeyOnStart = false
+		r.refreshKeys()
+	}
 	ticker := time.NewTicker(tickInterval)
 	defer ticker.Stop()
 	// execEvC is the stage-3 executor's doorbell; nil (never ready) when
@@ -660,6 +702,9 @@ func (r *Replica) verify(m message.Message) bool { return r.auth.Verify(m) }
 //
 // bftlint:send
 func (r *Replica) multicastReplicas(m message.Message) {
+	if r.muted.Load() {
+		return // WAL replay / kill: nothing may reach the network
+	}
 	r.behaviorMangle(m)
 	if r.out != nil {
 		// An outbox-overflow drop here loses the multicast like a dropped
@@ -676,6 +721,9 @@ func (r *Replica) multicastReplicas(m message.Message) {
 //
 // bftlint:send
 func (r *Replica) sendTo(dst message.NodeID, m message.Message) {
+	if r.muted.Load() {
+		return
+	}
 	r.behaviorMangle(m)
 	if r.out != nil {
 		r.out.Send(dst, m, egress.Point)
@@ -692,6 +740,9 @@ func (r *Replica) sendTo(dst message.NodeID, m message.Message) {
 //
 // bftlint:send
 func (r *Replica) sendRaw(dst message.NodeID, m message.Message) {
+	if r.muted.Load() {
+		return
+	}
 	if r.out != nil {
 		r.out.SendRaw(dst, m.Marshal())
 		return
@@ -709,6 +760,9 @@ func (r *Replica) sendRaw(dst message.NodeID, m message.Message) {
 //
 // bftlint:send
 func (r *Replica) resendOwn(dst message.NodeID, m message.Message) {
+	if r.muted.Load() {
+		return
+	}
 	r.behaviorMangle(m)
 	if r.out != nil {
 		r.out.Send(dst, m, egress.Vector)
@@ -723,6 +777,9 @@ func (r *Replica) resendOwn(dst message.NodeID, m message.Message) {
 //
 // bftlint:send
 func (r *Replica) multicastSigned(m message.Message) {
+	if r.muted.Load() {
+		return
+	}
 	if r.out != nil {
 		r.out.Multicast(r.replicaIDs(), m, egress.Sign)
 		return
@@ -737,6 +794,9 @@ func (r *Replica) multicastSigned(m message.Message) {
 //
 // bftlint:send
 func (r *Replica) multicastRawBytes(raw []byte) {
+	if r.muted.Load() {
+		return
+	}
 	if r.out != nil {
 		r.out.MulticastRaw(r.replicaIDs(), raw)
 		return

@@ -8,6 +8,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/message"
 	"repro/internal/quorum"
+	"repro/internal/wal"
 )
 
 // vcState holds all view-change bookkeeping (§3.2.4). It outlives every
@@ -164,6 +165,13 @@ func (r *Replica) startViewChange(nv message.View) {
 	// Clear per-view slot state; history lives in PSet/QSet/batchStore.
 	r.log.Reset(r.log.Low())
 	r.waitingPP = make(map[message.Seq]*message.PrePrepare)
+
+	// Durability barrier (§3.2.4): the view-change message's P/Q components
+	// feed other replicas' new-view proofs. Log the transition and flush —
+	// on restart, the walView record's presence proves the multicast may
+	// have left, and replay re-runs this view change from the same slots.
+	r.walView(nv, false)
+	r.walBarrier()
 
 	vc := r.buildViewChange(nv)
 	r.multicastReplicas(vc)
@@ -848,6 +856,14 @@ func (r *Replica) enterNewView(nv *message.NewView) {
 	r.vcTimerDeadline = time.Time{}
 	r.metrics.NewViewsProcessed++
 
+	// Log the transition before any send below: a restart that replays this
+	// record resumes ACTIVE in the new view (replaying the pending record
+	// alone would re-multicast the view change — harmless but slower). The
+	// X-entry pre-prepares and own prepares are re-logged as the loop
+	// installs them, so replay rebuilds the new view's slots too.
+	r.walView(nv.View, true)
+	r.walBarrier()
+
 	h := nv.CkptSeq
 
 	// If the chosen checkpoint is ahead of us, fetch it (§5.3.2); the slots
@@ -908,9 +924,14 @@ func (r *Replica) enterNewView(nv *message.NewView) {
 			slot.PrePrepare = pp
 		}
 
+		if slot.PrePrepare != nil {
+			r.walPrePrepare(slot.PrePrepare)
+		}
+
 		if !isPrimary {
 			slot.SentPrepare = true
 			prep := &message.Prepare{View: nv.View, Seq: xd.Seq, Digest: xd.Digest, Replica: r.id}
+			r.walVote(wal.KindPrepare, nv.View, xd.Seq, r.id, xd.Digest)
 			r.multicastReplicas(prep)
 			slot.AddPrepare(r.id, nv.View, xd.Digest)
 		}

@@ -1,0 +1,123 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/crypto"
+)
+
+// ErrTruncated reports a record or snapshot that ends mid-field.
+var ErrTruncated = errors.New("wal: truncated encoding")
+
+// ErrCorrupt reports a frame or snapshot whose checksum does not match its
+// contents, or whose header is not one this version wrote.
+var ErrCorrupt = errors.New("wal: corrupt encoding")
+
+// maxSliceLen bounds any decoded length field. Log frames are produced
+// locally, but replay must survive arbitrary disk corruption without
+// allocating absurd buffers — the same DoS discipline as the wire codec.
+const maxSliceLen = 1 << 26
+
+// writer appends fixed-layout little-endian fields, mirroring the
+// internal/message codec idiom so the record structs read the same way.
+type writer struct{ b []byte }
+
+func newWriter(sizeHint int) *writer { return &writer{b: make([]byte, 0, sizeHint)} }
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+
+func (w *writer) digest(d crypto.Digest) { w.b = append(w.b, d[:]...) }
+
+// bytes writes a length-prefixed byte slice.
+func (w *writer) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// reader consumes the same layout with a sticky error: after the first
+// failure every subsequent read returns zero values and done() reports it.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func newReader(b []byte) *reader { return &reader{b: b} }
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+	r.off = len(r.b)
+}
+
+func (r *reader) u8() uint8 {
+	if r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) digest() crypto.Digest {
+	var d crypto.Digest
+	if r.off+len(d) > len(r.b) {
+		r.fail()
+		return d
+	}
+	copy(d[:], r.b[r.off:])
+	r.off += len(d)
+	return d
+}
+
+// bytes reads a length-prefixed byte slice, copying out of the backing
+// buffer so decoded records never alias the (reused) read buffer.
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxSliceLen || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return ErrCorrupt // trailing garbage inside a checksummed payload
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALReplay throws arbitrary bytes at the segment replay path: header
+// check plus frame-by-frame parse. The invariants under fuzz are the crash
+// safety properties — no panic, no absurd allocation, and any frame that
+// parses re-encodes to the identical bytes (so replay-then-rewrite is
+// lossless).
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a well-formed segment: header + two frames.
+	seg := encodeSegHeader(128)
+	r1 := Record{Kind: KindPrePrepare, Seq: 129, View: 2, From: 1, Body: []byte("batch")}
+	r2 := Record{Kind: KindView, Flags: ViewActive, View: 3}
+	r3 := Record{Kind: KindKeys, Flags: KeysSelf, Seq: 2, View: 1, From: 0,
+		Body: []byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0}}
+	seg = appendFrame(seg, &r1)
+	seg = appendFrame(seg, &r2)
+	seg = appendFrame(seg, &r3)
+	f.Add(seg)
+	f.Add(seg[:len(seg)-3])             // torn tail
+	f.Add(encodeSegHeader(0))           // empty segment
+	f.Add([]byte("BFTWAL1\nnot a seg")) // magic, garbage after
+	f.Add(EncodeSnapshot(&Snapshot{Seq: 128, Extra: []byte("x"),
+		Pages: []Page{{Index: 1, LastMod: 7, Content: []byte("p")}}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Segment scan: mirror Recover's per-segment loop on raw bytes.
+		if checkSegHeader(data, 128) || len(data) >= segHeader {
+			off := segHeader
+			if len(data) < segHeader {
+				off = 0
+			}
+			for off < len(data) {
+				rec, n, ok := parseFrame(data[off:])
+				if !ok {
+					break // replay stop condition; must not panic before this
+				}
+				if n <= 0 {
+					t.Fatal("accepted frame consumed nothing")
+				}
+				// A frame that validates must round-trip byte-identically.
+				re := appendFrame(nil, &rec)
+				if !bytes.Equal(re, data[off:off+n]) {
+					t.Fatalf("frame at %d re-encodes differently", off)
+				}
+				off += n
+			}
+		}
+		// Snapshot decode must reject or round-trip, never panic.
+		if s, err := DecodeSnapshot(data); err == nil {
+			if !bytes.Equal(EncodeSnapshot(s), data) {
+				t.Fatal("snapshot re-encodes differently")
+			}
+		}
+	})
+}

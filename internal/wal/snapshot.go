@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"hash/crc32"
+
+	"repro/internal/crypto"
+)
+
+// snapMagic begins every snapshot blob.
+var snapMagic = [8]byte{'B', 'F', 'T', 'S', 'N', 'A', 'P', '1'}
+
+// Page is one checkpointed state page: its index, the last-modified
+// sequence number the leaf digest covers (checkpoint.LeafDigest includes
+// lm, so restoring a group-matching root digest REQUIRES persisting it),
+// and the page contents.
+type Page struct {
+	Index   uint32
+	LastMod uint64
+	Content []byte
+}
+
+func (p *Page) marshalBody(w *writer) {
+	w.u32(p.Index)
+	w.u64(p.LastMod)
+	w.bytes(p.Content)
+}
+
+func (p *Page) unmarshalBody(r *reader) {
+	p.Index = r.u32()
+	p.LastMod = r.u64()
+	p.Content = r.bytes()
+}
+
+// Snapshot is a persisted stable checkpoint: the full service state page
+// by page plus the reply-cache blob (the checkpoint's Extra component, so
+// exactly-once survives restart) and the expected combined root digest.
+type Snapshot struct {
+	Seq   uint64
+	Root  crypto.Digest
+	Extra []byte
+	Pages []Page
+}
+
+func (s *Snapshot) marshalBody(w *writer) {
+	w.u64(s.Seq)
+	w.digest(s.Root)
+	w.bytes(s.Extra)
+	w.u32(uint32(len(s.Pages)))
+	for i := range s.Pages {
+		s.Pages[i].marshalBody(w)
+	}
+}
+
+func (s *Snapshot) unmarshalBody(r *reader) {
+	s.Seq = r.u64()
+	s.Root = r.digest()
+	s.Extra = r.bytes()
+	n := int(r.u32())
+	// Each page costs at least its 16-byte fixed header, so bounding the
+	// count by the remaining bytes rejects absurd corrupt counts before
+	// allocating (decoded-integer-as-allocation-size discipline).
+	if r.err != nil || n < 0 || n > len(r.b)/16+1 {
+		r.fail()
+		return
+	}
+	s.Pages = make([]Page, n)
+	for i := range s.Pages {
+		s.Pages[i].unmarshalBody(r)
+	}
+}
+
+// EncodeSnapshot serializes s as a self-validating blob:
+// magic, body, crc32(body) trailer.
+func EncodeSnapshot(s *Snapshot) []byte {
+	w := newWriter(64 + len(s.Extra) + len(s.Pages)*4112)
+	s.marshalBody(w)
+	out := make([]byte, 0, len(snapMagic)+len(w.b)+4)
+	out = append(out, snapMagic[:]...)
+	out = append(out, w.b...)
+	var crc [4]byte
+	putU32(crc[:], crc32.ChecksumIEEE(w.b))
+	return append(out, crc[:]...)
+}
+
+// DecodeSnapshot validates and decodes a snapshot blob. A bad magic,
+// checksum, or structure yields ErrCorrupt/ErrTruncated — the caller falls
+// back to an older snapshot or a from-scratch state transfer.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < len(snapMagic)+4 {
+		return nil, ErrTruncated
+	}
+	for i := range snapMagic {
+		if b[i] != snapMagic[i] {
+			return nil, ErrCorrupt
+		}
+	}
+	body := b[len(snapMagic) : len(b)-4]
+	if crc32.ChecksumIEEE(body) != getU32(b[len(b)-4:]) {
+		return nil, ErrCorrupt
+	}
+	var s Snapshot
+	r := newReader(body)
+	s.unmarshalBody(r)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
